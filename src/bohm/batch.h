@@ -1,0 +1,68 @@
+// Batches and the pipeline ring connecting the three Bohm stages.
+//
+// Coordination happens once per batch, never per transaction (Section
+// 3.2.4). The sequencer fills a batch and publishes it; every CC thread
+// walks every published batch in order (deriving parallelism from intra-
+// transaction partitioning, not batch partitioning); after the per-batch
+// CC barrier the batch is published to the execution layer; execution
+// threads likewise walk batches in order, striping transactions among
+// themselves (Section 3.3.1).
+//
+// The ring has a fixed number of slots. A slot for batch b is reused for
+// batch b + depth only once every execution thread has finished b, which
+// the sequencer checks against the execution low-watermark — the same
+// watermark that drives garbage collection (Section 3.3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/macros.h"
+#include "bohm/txn_state.h"
+
+namespace bohm {
+
+struct Batch {
+  int64_t id = -1;
+  std::vector<BohmTxn*> txns;
+  /// Owns the procedures for the lifetime of the batch slot generation.
+  std::vector<ProcedurePtr> procs;
+  /// Holds the BohmTxn objects and their read/write ref arrays.
+  Arena arena{1u << 16};
+
+  /// id+1 once the sequencer has filled the slot (release-published).
+  std::atomic<int64_t> seq_published{0};
+  /// id+1 once all CC threads have finished the batch.
+  std::atomic<int64_t> cc_published{0};
+
+  void ResetForReuse() {
+    txns.clear();
+    procs.clear();
+    arena.Reset();
+  }
+};
+
+/// Fixed-depth pipeline of batch slots.
+class BatchRing {
+ public:
+  explicit BatchRing(uint32_t depth) {
+    slots_.reserve(depth);
+    for (uint32_t i = 0; i < depth; ++i) {
+      slots_.push_back(std::make_unique<Batch>());
+    }
+  }
+  BOHM_DISALLOW_COPY_AND_ASSIGN(BatchRing);
+
+  uint32_t depth() const { return static_cast<uint32_t>(slots_.size()); }
+  Batch* Slot(int64_t batch_id) {
+    return slots_[static_cast<uint64_t>(batch_id) % slots_.size()].get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Batch>> slots_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,96 @@
+// The concurrency-control stage (Sections 3.2.2–3.2.4).
+//
+// Every CC thread walks every batch in log order and, for each
+// transaction, processes exactly those read/write-set elements whose key
+// hashes to its partition. The decision is purely thread-local; two CC
+// threads never touch the same record, even across transaction boundaries,
+// so version insertion needs no synchronization. The only cross-thread
+// coordination is one barrier per batch.
+
+#include "common/spin.h"
+#include "bohm/engine.h"
+
+namespace bohm {
+
+void BohmEngine::CcLoop(uint32_t cc_id) {
+  for (int64_t b = 0;; ++b) {
+    Batch* batch = ring_.Slot(b);
+    // Wait for the sequencer to publish batch b (or for shutdown).
+    SpinWait wait;
+    for (;;) {
+      if (batch->seq_published.load(std::memory_order_acquire) == b + 1) {
+        break;
+      }
+      if (sequencer_done_.load(std::memory_order_acquire) &&
+          b > last_sealed_batch_.load(std::memory_order_acquire)) {
+        return;
+      }
+      wait.Pause();
+    }
+
+    // Recycle versions whose retirement batch the execution layer has
+    // fully passed (Condition 3, Section 3.3.2). Amortized once per batch.
+    if (cfg_.gc_enabled) DrainRetired(cc_id);
+
+    const uint64_t my_bit = 1ull << cc_id;
+    for (BohmTxn* txn : batch->txns) {
+      if ((txn->cc_interest & my_bit) == 0) continue;
+      CcProcessTxn(cc_id, txn, b);
+    }
+
+    // One barrier per batch (Section 3.2.4); the last thread through
+    // publishes the batch to the execution layer.
+    if (cc_barrier_->ArriveAndWait()) {
+      batch->cc_published.store(b + 1, std::memory_order_release);
+    }
+  }
+}
+
+void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
+  CcState& st = *cc_state_[cc_id];
+
+  // Reads first: the annotation must reference the version that precedes
+  // any placeholder this same transaction inserts (RMW reads observe the
+  // pre-update value). Because CC threads process transactions in
+  // timestamp order, the current head of a record in this partition *is*
+  // the correct version for this transaction to read (Section 3.2.3).
+  if (cfg_.read_annotation) {
+    for (uint32_t i = 0; i < txn->n_reads; ++i) {
+      ReadRef& r = txn->reads[i];
+      BohmTable* table = db_.table(r.rec.table);
+      if (table->PartitionOf(r.rec.key) != cc_id) continue;
+      BohmIndexEntry* entry = table->Find(cc_id, r.rec.key);
+      r.version =
+          entry ? entry->head.load(std::memory_order_relaxed) : nullptr;
+      r.resolved = true;
+    }
+  }
+
+  // Writes: insert an uninitialized placeholder version per element
+  // (Section 3.2.2, Figure 3).
+  for (uint32_t i = 0; i < txn->n_writes; ++i) {
+    WriteRef& w = txn->writes[i];
+    BohmTable* table = db_.table(w.rec.table);
+    if (table->PartitionOf(w.rec.key) != cc_id) continue;
+    BohmIndexEntry* entry = table->GetOrInsert(cc_id, w.rec.key);
+    Version* old = entry->head.load(std::memory_order_relaxed);
+
+    Version* v = st.alloc.Alloc(w.rec.table, record_sizes_[w.rec.table]);
+    v->begin_ts = txn->ts;
+    v->producer = txn;
+    v->prev = old;
+    st.versions_created.Inc();
+
+    if (old != nullptr) {
+      // Invalidate the superseded version (its end timestamp becomes this
+      // transaction's timestamp) and queue it for collection once every
+      // execution thread has finished this batch.
+      old->end_ts.store(txn->ts, std::memory_order_release);
+      if (cfg_.gc_enabled) RetireVersion(cc_id, old, batch_id);
+    }
+    entry->head.store(v, std::memory_order_release);
+    w.version = v;
+  }
+}
+
+}  // namespace bohm

@@ -1,0 +1,177 @@
+#include "bohm/engine.h"
+
+#include <cstring>
+
+#include "common/affinity.h"
+#include "common/hash.h"
+#include "common/spin.h"
+
+namespace bohm {
+
+BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
+    : catalog_(catalog),
+      cfg_([&] {
+        if (cfg.cc_threads == 0) cfg.cc_threads = 1;
+        if (cfg.exec_threads == 0) cfg.exec_threads = 1;
+        if (cfg.batch_size == 0) cfg.batch_size = 1;
+        if (cfg.pipeline_depth < 2) cfg.pipeline_depth = 2;
+        if (cfg.max_dependency_depth == 0) cfg.max_dependency_depth = 1;
+        if (cfg.cc_threads > 64) cfg.interest_preprocessing = false;
+        return cfg;
+      }()),
+      db_(catalog_, cfg_.cc_threads),
+      ring_(cfg_.pipeline_depth),
+      input_(NextPow2(cfg_.input_queue_capacity < 2 ? 2
+                                                    : cfg_.input_queue_capacity)),
+      stats_(cfg_.exec_threads) {
+  record_sizes_.resize(catalog_.MaxTableId(), 0);
+  for (const TableSpec& t : catalog_.tables()) {
+    record_sizes_[t.id] = t.record_size;
+  }
+  cc_barrier_ = std::make_unique<CyclicBarrier>(cfg_.cc_threads);
+  for (uint32_t i = 0; i < cfg_.cc_threads; ++i) {
+    cc_state_.push_back(std::make_unique<CcState>());
+  }
+  for (uint32_t i = 0; i < cfg_.exec_threads; ++i) {
+    exec_completed_.push_back(std::make_unique<ExecSlot>());
+  }
+}
+
+BohmEngine::~BohmEngine() { Stop(); }
+
+Status BohmEngine::Load(TableId table, Key key, const void* payload) {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("Load after Start");
+  }
+  BohmTable* t = db_.table(table);
+  if (t == nullptr) return Status::NotFound("no such table");
+  uint32_t part = t->PartitionOf(key);
+  BohmIndexEntry* entry = t->GetOrInsert(part, key);
+  if (entry->head.load(std::memory_order_relaxed) != nullptr) {
+    return Status::InvalidArgument("duplicate key in load");
+  }
+  Version* v = cc_state_[part]->alloc.Alloc(table, record_sizes_[table]);
+  v->begin_ts = kLoadTs;
+  if (payload != nullptr) {
+    std::memcpy(v->data(), payload, record_sizes_[table]);
+  } else {
+    std::memset(v->data(), 0, record_sizes_[table]);
+  }
+  v->flags.store(kVersionReady, std::memory_order_release);
+  entry->head.store(v, std::memory_order_release);
+  return Status::OK();
+}
+
+Status BohmEngine::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("already started");
+  }
+  const bool pin =
+      cfg_.pin_threads &&
+      ShouldPin(1 + cfg_.cc_threads + cfg_.exec_threads);
+  unsigned cpu = 0;
+  threads_.emplace_back([this, pin, cpu] {
+    if (pin) PinCurrentThreadToCpu(cpu);
+    SequencerLoop();
+  });
+  ++cpu;
+  for (uint32_t i = 0; i < cfg_.cc_threads; ++i, ++cpu) {
+    threads_.emplace_back([this, i, pin, cpu] {
+      if (pin) PinCurrentThreadToCpu(cpu);
+      CcLoop(i);
+    });
+  }
+  for (uint32_t i = 0; i < cfg_.exec_threads; ++i, ++cpu) {
+    threads_.emplace_back([this, i, pin, cpu] {
+      if (pin) PinCurrentThreadToCpu(cpu);
+      ExecLoop(i);
+    });
+  }
+  return Status::OK();
+}
+
+void BohmEngine::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Another caller is already stopping; wait for the joins to finish.
+    SpinWait wait;
+    while (!stopped_.load(std::memory_order_acquire)) wait.Pause();
+    return;
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  stopped_.store(true, std::memory_order_release);
+}
+
+Status BohmEngine::Submit(ProcedurePtr proc) {
+  if (!started_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  if (proc == nullptr) return Status::InvalidArgument("null procedure");
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  input_.Push(InputItem{proc.release(), /*owned=*/true});
+  return Status::OK();
+}
+
+Status BohmEngine::SubmitBorrowed(StoredProcedure* proc) {
+  if (!started_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  if (proc == nullptr) return Status::InvalidArgument("null procedure");
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  input_.Push(InputItem{proc, /*owned=*/false});
+  return Status::OK();
+}
+
+Status BohmEngine::RunSync(ProcedurePtr proc) {
+  BOHM_RETURN_NOT_OK(Submit(std::move(proc)));
+  WaitForIdle();
+  return Status::OK();
+}
+
+uint64_t BohmEngine::CompletedCount() const {
+  StatsSnapshot s = stats_.Fold();
+  return s.commits + s.logic_aborts;
+}
+
+void BohmEngine::WaitForIdle() {
+  SpinWait wait;
+  while (CompletedCount() < submitted_.load(std::memory_order_acquire)) {
+    wait.Pause();
+  }
+}
+
+int64_t BohmEngine::Watermark() const {
+  int64_t min = INT64_MAX;
+  for (const auto& slot : exec_completed_) {
+    int64_t v = slot->completed.load(std::memory_order_acquire);
+    if (v < min) min = v;
+  }
+  return min;
+}
+
+uint64_t BohmEngine::gc_freed_versions() const {
+  uint64_t n = 0;
+  for (const auto& s : cc_state_) n += s->freed.Get();
+  return n;
+}
+
+Status BohmEngine::ReadLatest(TableId table, Key key, void* out) const {
+  const BohmTable* t = db_.table(table);
+  if (t == nullptr) return Status::NotFound("no such table");
+  uint32_t part = t->PartitionOf(key);
+  BohmIndexEntry* entry = t->Find(part, key);
+  if (entry == nullptr) return Status::NotFound("no such record");
+  Version* v = entry->head.load(std::memory_order_acquire);
+  if (v == nullptr || !v->ready() || v->tombstone()) {
+    return Status::NotFound("no visible version");
+  }
+  std::memcpy(out, v->data(), record_sizes_[table]);
+  return Status::OK();
+}
+
+}  // namespace bohm

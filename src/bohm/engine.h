@@ -1,0 +1,193 @@
+// BohmEngine: the paper's concurrency-control protocol, end to end.
+//
+// Pipeline (Section 3.1):
+//
+//   clients --Submit()--> [input queue]
+//      --> sequencer thread: totally orders transactions; timestamp =
+//          position in the log; accumulates batches (Sections 3.2.1, 3.2.4)
+//      --> m concurrency-control threads: each walks every batch and
+//          processes exactly the records in its hash partition — inserts
+//          uninitialized version placeholders for writes and annotates
+//          reads with version references (Sections 3.2.2, 3.2.3); one
+//          barrier per batch (Section 3.2.4)
+//      --> n execution threads: walk batches in order, stripe transactions
+//          among themselves, evaluate transaction logic filling the
+//          placeholders, recursively evaluating producers of unready read
+//          dependencies (Section 3.3.1); publish per-thread batch counters
+//          from which the GC low-watermark is folded (Section 3.3.2).
+//
+// Reads never block writes; writes may block reads (only on placeholder
+// data not yet produced). No global timestamp counter, no lock manager, no
+// per-read shared-memory writes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/macros.h"
+#include "common/queue.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "bohm/batch.h"
+#include "bohm/table.h"
+#include "bohm/txn_state.h"
+#include "bohm/version.h"
+#include "storage/schema.h"
+
+namespace bohm {
+
+struct BohmConfig {
+  /// m: concurrency-control threads (each owns a hash partition of every
+  /// table).
+  uint32_t cc_threads = 2;
+  /// n: transaction-execution threads.
+  uint32_t exec_threads = 2;
+  /// Transactions per batch. Coordination cost is amortized over this many
+  /// transactions (Section 3.2.4).
+  uint32_t batch_size = 256;
+  /// Batches in flight across the three stages.
+  uint32_t pipeline_depth = 4;
+  /// Enable Condition-3 garbage collection of superseded versions
+  /// (Section 3.3.2).
+  bool gc_enabled = true;
+  /// Enable the read-set annotation optimization (Section 3.2.3). When
+  /// off, execution threads locate read versions by chain traversal.
+  bool read_annotation = true;
+  /// Pin engine threads to CPUs (auto-disabled when threads > CPUs).
+  bool pin_threads = true;
+  /// Capacity of the client->sequencer queue (rounded up to a power of 2).
+  size_t input_queue_capacity = 8192;
+  /// Bound on recursive read-dependency evaluation; deeper chains back out
+  /// and are retried by the responsible thread (keeps stacks bounded under
+  /// adversarial hot-key RMW chains).
+  uint32_t max_dependency_depth = 64;
+  /// Pre-processing (Section 3.2.2's answer to the Amdahl's-law concern):
+  /// the sequencer annotates each transaction with the set of CC threads
+  /// whose partitions it touches, so CC threads skip foreign transactions
+  /// without scanning their read/write sets. Requires cc_threads <= 64.
+  bool interest_preprocessing = true;
+};
+
+class BohmEngine {
+ public:
+  BohmEngine(const Catalog& catalog, BohmConfig cfg);
+  ~BohmEngine();
+  BOHM_DISALLOW_COPY_AND_ASSIGN(BohmEngine);
+
+  /// Inserts an initial record (timestamp-0 version). Must be called
+  /// before Start(); single-threaded.
+  Status Load(TableId table, Key key, const void* payload);
+
+  /// Spawns the sequencer, CC, and execution threads.
+  Status Start();
+
+  /// Drains all submitted transactions and joins every engine thread.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Hands a transaction to the sequencer. Blocks (yielding) when the
+  /// input queue is full. The engine assumes ownership and destroys the
+  /// procedure some time after it completes (when its batch slot is
+  /// recycled) — do not retain pointers into it.
+  Status Submit(ProcedurePtr proc);
+
+  /// Non-owning variant for procedures whose results the caller wants to
+  /// read back (e.g. a read-only scan's aggregate): the caller keeps
+  /// ownership and must keep the object alive until the transaction has
+  /// completed (WaitForIdle() suffices).
+  Status SubmitBorrowed(StoredProcedure* proc);
+
+  /// Convenience for tests/examples: Submit + WaitForIdle.
+  Status RunSync(ProcedurePtr proc);
+
+  /// Blocks until every transaction submitted so far has been executed.
+  void WaitForIdle();
+
+  /// Aggregated execution counters.
+  StatsSnapshot Stats() const { return stats_.Fold(); }
+
+  /// The execution low-watermark: every batch with id <= Watermark() has
+  /// been fully executed by every execution thread (drives GC and batch
+  /// slot reuse).
+  int64_t Watermark() const;
+
+  /// Test hooks.
+  const BohmDatabase& db() const { return db_; }
+  uint64_t submitted() const {
+    return submitted_.load(std::memory_order_acquire);
+  }
+  uint64_t gc_freed_versions() const;
+  const BohmConfig& config() const { return cfg_; }
+
+  /// Reads the committed value of a record as of "now" (after
+  /// WaitForIdle). Test/example helper; not part of the transactional
+  /// path. Returns NotFound when absent.
+  Status ReadLatest(TableId table, Key key, void* out) const;
+
+ private:
+  friend class BohmOps;
+
+  struct alignas(kCacheLineSize) CcState {
+    VersionAllocator alloc;
+    std::deque<std::pair<Version*, int64_t>> retired;  // (version, batch)
+    RelaxedCounter freed;
+    RelaxedCounter versions_created;
+  };
+  struct alignas(kCacheLineSize) ExecSlot {
+    std::atomic<int64_t> completed{-1};
+  };
+
+  // --- sequencer stage (sequencer.cc) ---
+  void SequencerLoop();
+  void SealBatch(Batch* batch, int64_t id);
+
+  // --- concurrency-control stage (cc_worker.cc) ---
+  void CcLoop(uint32_t cc_id);
+  void CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id);
+
+  // --- execution stage (exec_worker.cc) ---
+  void ExecLoop(uint32_t exec_id);
+  bool TryExecute(uint32_t exec_id, BohmTxn* txn, uint32_t depth);
+  bool EnsureReady(uint32_t exec_id, Version* v, uint32_t depth);
+  Version* ResolveRead(ReadRef& ref, uint64_t ts) const;
+  bool FillAbortedWrites(uint32_t exec_id, BohmTxn* txn, uint32_t depth);
+
+  // --- garbage collection (gc.cc) ---
+  void DrainRetired(uint32_t cc_id);
+  void RetireVersion(uint32_t cc_id, Version* v, int64_t batch_id);
+
+  uint64_t CompletedCount() const;
+
+  struct InputItem {
+    StoredProcedure* proc = nullptr;
+    bool owned = false;
+  };
+
+  Catalog catalog_;
+  BohmConfig cfg_;
+  BohmDatabase db_;
+  std::vector<uint32_t> record_sizes_;  // by table id
+  BatchRing ring_;
+  MpmcQueue<InputItem> input_;
+  std::unique_ptr<CyclicBarrier> cc_barrier_;
+  std::vector<std::unique_ptr<CcState>> cc_state_;
+  std::vector<std::unique_ptr<ExecSlot>> exec_completed_;
+  StatsRegistry stats_;  // one slice per execution thread
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> sequencer_done_{false};
+  std::atomic<int64_t> last_sealed_batch_{-1};
+  std::atomic<uint64_t> submitted_{0};
+  uint64_t next_ts_ = 1;         // sequencer-private
+  int64_t next_batch_id_ = 0;    // sequencer-private
+};
+
+}  // namespace bohm

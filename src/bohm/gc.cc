@@ -1,0 +1,27 @@
+// Garbage collection, Condition 3 (Section 3.3.2): a version superseded by
+// a transaction in batch b can be recycled once every execution thread has
+// finished batch b. The low-watermark is folded on demand from per-thread
+// completed-batch counters, each written only by its own execution thread
+// — the RCU-flavoured scheme the paper describes, with no shared counter
+// updates on the transaction path.
+
+#include "bohm/engine.h"
+
+namespace bohm {
+
+void BohmEngine::RetireVersion(uint32_t cc_id, Version* v, int64_t batch_id) {
+  cc_state_[cc_id]->retired.emplace_back(v, batch_id);
+}
+
+void BohmEngine::DrainRetired(uint32_t cc_id) {
+  CcState& st = *cc_state_[cc_id];
+  if (st.retired.empty()) return;
+  const int64_t watermark = Watermark();
+  while (!st.retired.empty() && st.retired.front().second <= watermark) {
+    st.alloc.Free(st.retired.front().first);
+    st.retired.pop_front();
+    st.freed.Inc();
+  }
+}
+
+}  // namespace bohm

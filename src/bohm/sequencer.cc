@@ -1,0 +1,102 @@
+// The sequencer stage (Section 3.2.1): a single thread that appends every
+// input transaction to a logical log. A transaction's timestamp is its
+// position in that log — timestamp assignment is therefore an uncontended,
+// single-writer operation, in contrast to the global fetch-and-increment
+// counters of conventional multi-version systems (Section 2.1).
+
+#include <utility>
+
+#include "common/spin.h"
+#include "bohm/engine.h"
+
+namespace bohm {
+
+void BohmEngine::SealBatch(Batch* batch, int64_t id) {
+  batch->id = id;
+  // Publish to the CC stage; CC threads wait for seq_published == id + 1.
+  batch->seq_published.store(id + 1, std::memory_order_release);
+  last_sealed_batch_.store(id, std::memory_order_release);
+}
+
+void BohmEngine::SequencerLoop() {
+  SpinWait wait;
+  for (;;) {
+    const int64_t id = next_batch_id_;
+    // Back-pressure: slot (id mod depth) is reusable only once every
+    // execution thread has moved past the batch that used it previously.
+    Batch* batch = ring_.Slot(id);
+    wait.Reset();
+    while (id - Watermark() >= static_cast<int64_t>(ring_.depth())) {
+      wait.Pause();
+    }
+    batch->ResetForReuse();
+
+    // Fill the batch. Seal early when the input queue runs dry so that a
+    // trickle of transactions does not wait for a full batch.
+    bool stop_after = false;
+    wait.Reset();
+    while (batch->txns.size() < cfg_.batch_size) {
+      InputItem item;
+      if (input_.TryPop(&item)) {
+        wait.Reset();
+        StoredProcedure* raw = item.proc;
+        if (item.owned) batch->procs.emplace_back(raw);
+        const ReadWriteSet& set = raw->rwset();
+        auto* txn = batch->arena.New<BohmTxn>();
+        txn->proc = raw;
+        txn->ts = next_ts_++;
+        txn->batch_id = id;
+        txn->n_reads = static_cast<uint32_t>(set.reads().size());
+        txn->n_writes = static_cast<uint32_t>(set.writes().size());
+        if (txn->n_reads > 0) {
+          txn->reads = static_cast<ReadRef*>(batch->arena.Allocate(
+              sizeof(ReadRef) * txn->n_reads, alignof(ReadRef)));
+          for (uint32_t i = 0; i < txn->n_reads; ++i) {
+            txn->reads[i] = ReadRef{set.reads()[i], nullptr, false};
+          }
+        }
+        if (txn->n_writes > 0) {
+          txn->writes = static_cast<WriteRef*>(batch->arena.Allocate(
+              sizeof(WriteRef) * txn->n_writes, alignof(WriteRef)));
+          for (uint32_t i = 0; i < txn->n_writes; ++i) {
+            txn->writes[i] = WriteRef{set.writes()[i], nullptr, false};
+          }
+        }
+        if (cfg_.interest_preprocessing) {
+          // Pre-processing (Section 3.2.2): mark which CC partitions this
+          // transaction touches so CC threads skip it wholesale.
+          uint64_t mask = 0;
+          for (uint32_t i = 0; i < txn->n_writes; ++i) {
+            const RecordId& rec = txn->writes[i].rec;
+            mask |= 1ull << db_.table(rec.table)->PartitionOf(rec.key);
+          }
+          if (cfg_.read_annotation) {
+            for (uint32_t i = 0; i < txn->n_reads; ++i) {
+              const RecordId& rec = txn->reads[i].rec;
+              mask |= 1ull << db_.table(rec.table)->PartitionOf(rec.key);
+            }
+          }
+          txn->cc_interest = mask;
+        }
+        batch->txns.push_back(txn);
+        continue;
+      }
+      // Queue empty.
+      if (!batch->txns.empty()) break;  // seal a partial batch immediately
+      if (stopping_.load(std::memory_order_acquire)) {
+        stop_after = true;
+        break;
+      }
+      wait.Pause();
+    }
+
+    if (!batch->txns.empty()) {
+      SealBatch(batch, id);
+      ++next_batch_id_;
+    }
+    if (stop_after) break;
+  }
+  sequencer_done_.store(true, std::memory_order_release);
+}
+
+}  // namespace bohm

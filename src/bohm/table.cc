@@ -1,0 +1,54 @@
+#include "bohm/table.h"
+
+namespace bohm {
+
+BohmTable::BohmTable(const TableSpec& spec, uint32_t partitions)
+    : spec_(spec) {
+  if (partitions == 0) partitions = 1;
+  // Size each partition's bucket array for ~1 entry per bucket at the
+  // declared capacity.
+  uint64_t per_part = spec.capacity / partitions + 1;
+  uint64_t buckets = NextPow2(per_part * 2);
+  parts_.reserve(partitions);
+  for (uint32_t i = 0; i < partitions; ++i) {
+    parts_.push_back(std::make_unique<Partition>(buckets));
+  }
+}
+
+BohmIndexEntry* BohmTable::Find(uint32_t partition, Key key) const {
+  const Partition& p = *parts_[partition];
+  uint64_t b = HashKey(key) & p.mask;
+  // acquire pairs with the release publication in GetOrInsert, so a found
+  // entry is always fully initialized.
+  for (BohmIndexEntry* e = p.chains[b].load(std::memory_order_acquire);
+       e != nullptr; e = e->next) {
+    if (e->key == key) return e;
+  }
+  return nullptr;
+}
+
+BohmIndexEntry* BohmTable::GetOrInsert(uint32_t partition, Key key) {
+  Partition& p = *parts_[partition];
+  uint64_t b = HashKey(key) & p.mask;
+  BohmIndexEntry* first = p.chains[b].load(std::memory_order_relaxed);
+  for (BohmIndexEntry* e = first; e != nullptr; e = e->next) {
+    if (e->key == key) return e;
+  }
+  auto* e = p.arena.New<BohmIndexEntry>();
+  e->key = key;
+  e->next = first;
+  // Publish after full initialization; concurrent readers traverse safely.
+  p.chains[b].store(e, std::memory_order_release);
+  ++p.count;
+  return e;
+}
+
+BohmDatabase::BohmDatabase(const Catalog& catalog, uint32_t partitions)
+    : catalog_(catalog), partitions_(partitions == 0 ? 1 : partitions) {
+  tables_.resize(catalog_.MaxTableId());
+  for (const TableSpec& spec : catalog_.tables()) {
+    tables_[spec.id] = std::make_unique<BohmTable>(spec, partitions_);
+  }
+}
+
+}  // namespace bohm

@@ -1,0 +1,99 @@
+// The Bohm versioned table: a hash index partitioned across concurrency-
+// control threads (Section 3.2.2).
+//
+// Ownership discipline is the heart of the design: a record's index entry
+// and head pointer are only ever *written* by the single CC thread whose
+// partition the record hashes to — across all transactions, forever. That
+// makes every index mutation uncontended by construction. Execution
+// threads *read* entries concurrently ("readers need only spin on
+// inconsistent or stale data", Section 3.3.1): entries are published into
+// bucket chains with release stores and never removed, so a reader either
+// sees a fully-initialized entry or does not see it yet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "common/macros.h"
+#include "bohm/version.h"
+#include "storage/schema.h"
+
+namespace bohm {
+
+/// Index entry: one per record ever written. The head pointer tracks the
+/// newest version (Figure 3's per-record chain).
+struct BohmIndexEntry {
+  Key key = 0;
+  std::atomic<Version*> head{nullptr};
+  BohmIndexEntry* next = nullptr;  // bucket chain, set before publication
+};
+
+/// One table, internally split into `partitions` independent hash indexes.
+class BohmTable {
+ public:
+  BohmTable(const TableSpec& spec, uint32_t partitions);
+  BOHM_DISALLOW_COPY_AND_ASSIGN(BohmTable);
+
+  const TableSpec& spec() const { return spec_; }
+  uint32_t partitions() const { return static_cast<uint32_t>(parts_.size()); }
+
+  /// Partition (= owning CC thread) of a key.
+  uint32_t PartitionOf(Key key) const {
+    return static_cast<uint32_t>(HashKey(key) % parts_.size());
+  }
+
+  /// Read-only lookup; safe from any thread concurrently with owner
+  /// inserts. Returns nullptr when the record has never been written.
+  BohmIndexEntry* Find(uint32_t partition, Key key) const;
+
+  /// Lookup-or-insert; must only be called by the owning CC thread of
+  /// `partition` (or single-threaded during load).
+  BohmIndexEntry* GetOrInsert(uint32_t partition, Key key);
+
+  /// Number of entries in a partition (test hook; owner thread only).
+  uint64_t EntryCount(uint32_t partition) const {
+    return parts_[partition]->count;
+  }
+
+ private:
+  struct Partition {
+    explicit Partition(uint64_t buckets)
+        : mask(buckets - 1), arena(1u << 16) {
+      chains = std::make_unique<std::atomic<BohmIndexEntry*>[]>(buckets);
+      for (uint64_t i = 0; i < buckets; ++i) {
+        chains[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    uint64_t mask;
+    std::unique_ptr<std::atomic<BohmIndexEntry*>[]> chains;
+    Arena arena;        // entries; touched only by the owning CC thread
+    uint64_t count = 0;
+  };
+
+  TableSpec spec_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+};
+
+/// All Bohm tables of a database instance.
+class BohmDatabase {
+ public:
+  BohmDatabase(const Catalog& catalog, uint32_t partitions);
+  BOHM_DISALLOW_COPY_AND_ASSIGN(BohmDatabase);
+
+  BohmTable* table(TableId id) const {
+    return id < tables_.size() ? tables_[id].get() : nullptr;
+  }
+  const Catalog& catalog() const { return catalog_; }
+  uint32_t partitions() const { return partitions_; }
+
+ private:
+  Catalog catalog_;
+  uint32_t partitions_;
+  std::vector<std::unique_ptr<BohmTable>> tables_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,23 @@
+#include "bohm/txn_state.h"
+
+namespace bohm {
+
+ReadRef* BohmTxn::FindRead(TableId table, Key key) {
+  for (uint32_t i = 0; i < n_reads; ++i) {
+    if (reads[i].rec.table == table && reads[i].rec.key == key) {
+      return &reads[i];
+    }
+  }
+  return nullptr;
+}
+
+WriteRef* BohmTxn::FindWrite(TableId table, Key key) {
+  for (uint32_t i = 0; i < n_writes; ++i) {
+    if (writes[i].rec.table == table && writes[i].rec.key == key) {
+      return &writes[i];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bohm

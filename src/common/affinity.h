@@ -1,0 +1,23 @@
+// Thread-to-core pinning. The paper pins every long-running thread 1:1 to
+// a CPU core (Section 4). On machines with fewer cores than engine
+// threads, pinning all threads to the same few cores would serialize the
+// pipeline, so pinning auto-disables when it cannot be 1:1.
+#pragma once
+
+#include <cstdint>
+
+namespace bohm {
+
+/// Number of CPUs available to this process.
+unsigned HardwareConcurrency();
+
+/// Pins the calling thread to `cpu` (modulo available CPUs). Returns true
+/// on success. No-op (returns false) on unsupported platforms.
+bool PinCurrentThreadToCpu(unsigned cpu);
+
+/// Policy helper: returns true when an engine that wants `threads` pinned
+/// threads should actually pin them (i.e. there are at least that many
+/// CPUs). All engines consult this so behaviour is uniform.
+bool ShouldPin(unsigned threads);
+
+}  // namespace bohm

@@ -1,0 +1,46 @@
+// Reusable thread barrier used by the concurrency-control layer to
+// synchronize once per *batch* of transactions (Section 3.2.4 of the
+// paper), never per transaction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/macros.h"
+#include "common/spin.h"
+
+namespace bohm {
+
+/// A sense-reversing cyclic barrier for a fixed set of participants. All
+/// waits yield under oversubscription (see spin.h). The last thread to
+/// arrive returns true, which lets exactly one participant perform a
+/// per-batch action (e.g. publishing the batch to the execution layer).
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(uint32_t participants)
+      : participants_(participants), remaining_(participants) {}
+  BOHM_DISALLOW_COPY_AND_ASSIGN(CyclicBarrier);
+
+  /// Blocks until all participants have arrived. Returns true on exactly
+  /// one participant per generation (the last arriver).
+  bool ArriveAndWait() {
+    const bool sense = sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+      return true;
+    }
+    SpinWait wait;
+    while (sense_.load(std::memory_order_acquire) == sense) wait.Pause();
+    return false;
+  }
+
+  uint32_t participants() const { return participants_; }
+
+ private:
+  const uint32_t participants_;
+  alignas(kCacheLineSize) std::atomic<uint32_t> remaining_;
+  alignas(kCacheLineSize) std::atomic<bool> sense_{false};
+};
+
+}  // namespace bohm

@@ -1,0 +1,40 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace bohm {
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  return (end == v) ? def : static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end == v) ? def : parsed;
+}
+
+std::vector<int> EnvIntList(const char* name, std::vector<int> def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  std::vector<int> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    long parsed = std::strtol(item.c_str(), &end, 10);
+    if (end == item.c_str()) return def;
+    out.push_back(static_cast<int>(parsed));
+  }
+  return out.empty() ? def : out;
+}
+
+}  // namespace bohm

@@ -1,0 +1,23 @@
+// Environment-variable configuration helpers for the benchmark harness.
+// Benchmarks default to sizes that finish quickly on small machines; on
+// hardware comparable to the paper's 40-core box, exporting e.g.
+// BOHM_BENCH_SCALE=10 widens them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bohm {
+
+/// Returns the value of `name` parsed as int64, or `def` when unset/bad.
+int64_t EnvInt64(const char* name, int64_t def);
+
+/// Returns the value of `name` parsed as double, or `def` when unset/bad.
+double EnvDouble(const char* name, double def);
+
+/// Parses a comma-separated integer list ("1,2,4,8"); returns `def` when
+/// unset or unparsable.
+std::vector<int> EnvIntList(const char* name, std::vector<int> def);
+
+}  // namespace bohm

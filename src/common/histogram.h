@@ -1,0 +1,97 @@
+// Log-bucketed latency histogram (HdrHistogram-style, power-of-two
+// buckets with linear sub-buckets). Fixed memory, constant-time record,
+// approximate percentiles with bounded relative error — the standard
+// instrument for OLTP latency profiles. Not thread-safe: each worker owns
+// one and they are merged after the run.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bohm {
+
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBuckets = 16;  // per power-of-two range
+  static constexpr uint32_t kRanges = 40;      // up to ~2^40 units
+
+  void Record(uint64_t value) {
+    ++count_;
+    total_ += value;
+    if (value > max_) max_ = value;
+    buckets_[BucketOf(value)] += 1;
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    total_ += other.total_;
+    if (other.max_ > max_) max_ = other.max_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1] (upper bound of the containing
+  /// bucket). Returns 0 for an empty histogram.
+  uint64_t Percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (target >= count_) target = count_ - 1;
+    uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > target) {
+        uint64_t ub = BucketUpperBound(i);
+        return ub > max_ ? max_ : ub;  // never report beyond observed max
+      }
+    }
+    return max_;
+  }
+
+  void Reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    total_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  static std::size_t BucketOf(uint64_t value) {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    // Range r covers [kSubBuckets << (r-1), kSubBuckets << r).
+    uint32_t msb = 63u - static_cast<uint32_t>(__builtin_clzll(value));
+    uint32_t range = msb - 3;  // log2(kSubBuckets) == 4
+    uint32_t sub =
+        static_cast<uint32_t>(value >> (range - 1)) & (kSubBuckets - 1);
+    std::size_t idx = static_cast<std::size_t>(range) * kSubBuckets + sub;
+    constexpr std::size_t kMax = kSubBuckets * kRanges - 1;
+    return idx > kMax ? kMax : idx;
+  }
+
+  static uint64_t BucketUpperBound(std::size_t idx) {
+    if (idx < kSubBuckets) return static_cast<uint64_t>(idx);
+    uint32_t range = static_cast<uint32_t>(idx / kSubBuckets);
+    uint32_t sub = static_cast<uint32_t>(idx % kSubBuckets);
+    // Inverse of BucketOf: value ≈ (kSubBuckets + sub) << (range - 1).
+    return (static_cast<uint64_t>(kSubBuckets + sub) << (range - 1)) +
+           ((1ull << (range - 1)) - 1);
+  }
+
+  std::array<uint64_t, kSubBuckets * kRanges> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace bohm

@@ -1,0 +1,100 @@
+// Bounded lock-free MPMC queue (Vyukov's algorithm). Used as the input
+// queue between clients and the Bohm sequencer thread, and by the harness
+// drivers. Capacity must be a power of two.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/spin.h"
+
+namespace bohm {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1),
+        cells_(std::make_unique<Cell[]>(capacity)) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "capacity must be a power of two");
+    for (size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+  BOHM_DISALLOW_COPY_AND_ASSIGN(MpmcQueue);
+
+  /// Non-blocking push; returns false when the queue is full.
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop; returns false when the queue is empty.
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      size_t seq = cell->sequence.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push with yielding back-off.
+  void Push(T value) {
+    SpinWait wait;
+    while (!TryPush(std::move(value))) wait.Pause();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+};
+
+}  // namespace bohm

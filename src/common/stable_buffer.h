@@ -1,0 +1,71 @@
+// A chunked bump allocator whose allocations never move: growing the
+// buffer allocates a new chunk instead of reallocating, so pointers handed
+// out earlier stay valid. Used for Silo's thread-local read copies and
+// write buffer, which must remain stable for the duration of a
+// transaction's Run() while more reads/writes append to them. Reset()
+// keeps the chunks for reuse by the next transaction (Silo's write-buffer
+// locality argument, Section 4.2.1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace bohm {
+
+class StableBuffer {
+ public:
+  explicit StableBuffer(size_t chunk_bytes = 1u << 16)
+      : chunk_bytes_(chunk_bytes) {}
+  BOHM_DISALLOW_COPY_AND_ASSIGN(StableBuffer);
+
+  /// Returns an 8-aligned allocation of `bytes` that remains valid until
+  /// Reset().
+  void* Allocate(size_t bytes) {
+    bytes = (bytes + 7) & ~size_t{7};
+    if (BOHM_UNLIKELY(chunks_.empty() || used_ + bytes > chunks_[cur_].size)) {
+      Advance(bytes);
+    }
+    void* p = chunks_[cur_].data.get() + used_;
+    used_ += bytes;
+    return p;
+  }
+
+  /// Invalidates all allocations but keeps the chunks.
+  void Reset() {
+    cur_ = 0;
+    used_ = 0;
+  }
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void Advance(size_t min_bytes) {
+    for (size_t i = chunks_.empty() ? 0 : cur_ + 1; i < chunks_.size(); ++i) {
+      if (chunks_[i].size >= min_bytes) {
+        cur_ = i;
+        used_ = 0;
+        return;
+      }
+    }
+    size_t sz = min_bytes > chunk_bytes_ ? min_bytes : chunk_bytes_;
+    chunks_.push_back({std::make_unique<char[]>(sz), sz});
+    cur_ = chunks_.size() - 1;
+    used_ = 0;
+  }
+
+  size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t cur_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace bohm

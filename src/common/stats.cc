@@ -1,0 +1,41 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace bohm {
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "commits=" << commits << " cc_aborts=" << cc_aborts
+     << " logic_aborts=" << logic_aborts << " retries=" << retries
+     << " reads=" << reads << " writes=" << writes;
+  return os.str();
+}
+
+StatsSnapshot StatsRegistry::Fold() const {
+  StatsSnapshot out;
+  for (uint32_t i = 0; i < threads_; ++i) {
+    const ThreadStats& s = slices_[i];
+    out.commits += s.commits.Get();
+    out.cc_aborts += s.cc_aborts.Get();
+    out.logic_aborts += s.logic_aborts.Get();
+    out.retries += s.retries.Get();
+    out.reads += s.reads.Get();
+    out.writes += s.writes.Get();
+  }
+  return out;
+}
+
+void StatsRegistry::Reset() {
+  for (uint32_t i = 0; i < threads_; ++i) {
+    ThreadStats& s = slices_[i];
+    s.commits.Reset();
+    s.cc_aborts.Reset();
+    s.logic_aborts.Reset();
+    s.retries.Reset();
+    s.reads.Reset();
+    s.writes.Reset();
+  }
+}
+
+}  // namespace bohm

@@ -1,0 +1,84 @@
+// Execution statistics collected by every engine: commits, concurrency-
+// control aborts, retries. Padded per-thread counters folded on demand, so
+// stats collection itself never introduces the contended shared writes the
+// paper is about eliminating.
+//
+// Counters are single-writer (each slice belongs to one thread) but read
+// concurrently by monitors (WaitForIdle, benchmark snapshots), so they are
+// relaxed atomics updated with plain load+store — no lock-prefixed RMW on
+// the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+
+namespace bohm {
+
+/// Single-writer counter. The release/acquire pair gives monitors that
+/// observe a count a happens-before edge to everything the counting
+/// thread did first (e.g. WaitForIdle observing the final commit implies
+/// the commit's effects are visible) — at zero cost on x86.
+class RelaxedCounter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + delta,
+             std::memory_order_release);
+  }
+  uint64_t Get() const { return v_.load(std::memory_order_acquire); }
+  void Reset() { v_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Per-thread slice of the engine counters.
+struct alignas(kCacheLineSize) ThreadStats {
+  RelaxedCounter commits;
+  RelaxedCounter cc_aborts;     // aborts induced by concurrency control
+  RelaxedCounter logic_aborts;  // aborts requested by transaction logic
+  RelaxedCounter retries;       // re-executions after a cc abort
+  RelaxedCounter reads;
+  RelaxedCounter writes;
+};
+
+/// Aggregated view (plain values; safe to copy around).
+struct StatsSnapshot {
+  uint64_t commits = 0;
+  uint64_t cc_aborts = 0;
+  uint64_t logic_aborts = 0;
+  uint64_t retries = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  double AbortRate() const {
+    uint64_t attempts = commits + cc_aborts;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(cc_aborts) /
+                               static_cast<double>(attempts);
+  }
+  std::string ToString() const;
+};
+
+/// Fixed-size pool of per-thread stats slices.
+class StatsRegistry {
+ public:
+  explicit StatsRegistry(uint32_t threads)
+      : threads_(threads), slices_(std::make_unique<ThreadStats[]>(threads)) {}
+  BOHM_DISALLOW_COPY_AND_ASSIGN(StatsRegistry);
+
+  ThreadStats& Slice(uint32_t thread) { return slices_[thread]; }
+  uint32_t threads() const { return threads_; }
+
+  StatsSnapshot Fold() const;
+  void Reset();
+
+ private:
+  uint32_t threads_;
+  std::unique_ptr<ThreadStats[]> slices_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+#include "common/macros.h"
+
+namespace bohm {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "Ok";
+    case Code::kAborted:
+      return "Aborted";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace bohm

@@ -1,0 +1,122 @@
+// Status / Result error-handling vocabulary, in the style of RocksDB and
+// Arrow: no exceptions on any hot path, explicit codes, cheap OK.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace bohm {
+
+/// Error codes used throughout the library. Kept deliberately small; a
+/// transaction-processing engine mostly needs to distinguish "committed",
+/// "aborted by concurrency control (retryable)", and programmer errors.
+enum class Code : unsigned char {
+  kOk = 0,
+  kAborted,             // concurrency-control abort; the txn may be retried
+  kNotFound,            // record or table does not exist
+  kInvalidArgument,     // caller bug: malformed read/write set etc.
+  kFailedPrecondition,  // engine in wrong state (e.g. Submit after Stop)
+  kResourceExhausted,   // fixed-capacity structure is full
+  kInternal,            // invariant violation inside the engine
+};
+
+/// Returns a stable human-readable name for a code ("Ok", "Aborted", ...).
+const char* CodeName(Code code);
+
+/// A cheap, value-semantic status. OK carries no allocation; error statuses
+/// may carry a message. Follows the RocksDB convention: functions that can
+/// fail return Status (or Result<T>), never throw.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T> is a Status plus a value on success; modelled after
+/// arrow::Result. Accessing the value of a failed Result is a programmer
+/// error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace bohm
+
+/// Propagate a non-OK Status out of the current function.
+#define BOHM_RETURN_NOT_OK(expr)           \
+  do {                                     \
+    ::bohm::Status _st = (expr);           \
+    if (BOHM_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)

@@ -1,0 +1,58 @@
+// Zipfian key-distribution generator following Gray et al., "Quickly
+// generating billion-record synthetic databases" (SIGMOD 1994) — the same
+// citation the paper uses for its YCSB contention knob ([16], Section
+// 4.2.1). theta = 0 degenerates to a uniform distribution; theta = 0.9 is
+// the paper's "high contention" setting.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rand.h"
+
+namespace bohm {
+
+class ZipfGenerator {
+ public:
+  /// Items are drawn from [0, n). theta must be in [0, 1); values >= 1
+  /// are clamped just below 1 (the harmonic normalization diverges at 1).
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws the next item rank. Rank 0 is the most popular item. Callers
+  /// that want popular keys scattered across the key space should apply a
+  /// hash on top (see ScrambledZipf below).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+/// Zipfian draw whose hot items are scattered uniformly over the key space
+/// by a Fibonacci-hash scramble, matching YCSB's "scrambled zipfian"
+/// behaviour so that hot keys do not cluster in one index/partition region.
+class ScrambledZipf {
+ public:
+  ScrambledZipf(uint64_t n, double theta) : inner_(n, theta), n_(n) {}
+
+  uint64_t Next(Rng& rng) {
+    uint64_t rank = inner_.Next(rng);
+    // Full-avalanche mix (rank 0 must not map to key 0).
+    uint64_t z = rank + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return (z ^ (z >> 31)) % n_;
+  }
+
+ private:
+  ZipfGenerator inner_;
+  uint64_t n_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,140 @@
+#include "harness/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace bohm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+BenchResult Window(const StatsSnapshot& before, const StatsSnapshot& after,
+                   double seconds) {
+  BenchResult r;
+  r.seconds = seconds;
+  r.commits = after.commits - before.commits;
+  r.cc_aborts = after.cc_aborts - before.cc_aborts;
+  r.logic_aborts = after.logic_aborts - before.logic_aborts;
+  return r;
+}
+
+}  // namespace
+
+BenchResult RunExecutorBench(ExecutorEngine& engine,
+                             const TxnSourceMaker& maker,
+                             const DriverOptions& opt) {
+  const uint32_t threads = engine.worker_threads();
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::vector<Histogram> latencies(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      TxnSource source = maker(t);
+      Histogram& lat = latencies[t];
+      while (!stop.load(std::memory_order_acquire)) {
+        ProcedurePtr proc = source();
+        if (measuring.load(std::memory_order_acquire)) {
+          auto s = Clock::now();
+          (void)engine.Execute(*proc, t);
+          lat.Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - s)
+                  .count()));
+        } else {
+          (void)engine.Execute(*proc, t);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.warmup_ms));
+  measuring.store(true, std::memory_order_release);
+  StatsSnapshot before = engine.Stats();
+  auto t0 = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.measure_ms));
+  StatsSnapshot after = engine.Stats();
+  auto t1 = Clock::now();
+  measuring.store(false, std::memory_order_release);
+
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  BenchResult r = Window(before, after, Seconds(t0, t1));
+  for (const Histogram& h : latencies) r.latency_us.Merge(h);
+  return r;
+}
+
+BenchResult RunBohmBench(BohmEngine& engine, const TxnSourceMaker& maker,
+                         uint32_t client_threads, const DriverOptions& opt) {
+  if (client_threads == 0) client_threads = 1;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  clients.reserve(client_threads);
+  for (uint32_t t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      TxnSource source = maker(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        // Submit blocks (yielding) when the pipeline is full, providing
+        // natural back-pressure.
+        if (!engine.Submit(source()).ok()) break;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.warmup_ms));
+  StatsSnapshot before = engine.Stats();
+  auto t0 = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.measure_ms));
+  StatsSnapshot after = engine.Stats();
+  auto t1 = Clock::now();
+
+  stop.store(true, std::memory_order_release);
+  for (auto& c : clients) c.join();
+  engine.WaitForIdle();
+  return Window(before, after, Seconds(t0, t1));
+}
+
+BenchResult RunExecutorCount(ExecutorEngine& engine,
+                             const TxnSourceMaker& maker,
+                             uint64_t count_per_thread) {
+  const uint32_t threads = engine.worker_threads();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  StatsSnapshot before = engine.Stats();
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      TxnSource source = maker(t);
+      for (uint64_t i = 0; i < count_per_thread; ++i) {
+        ProcedurePtr proc = source();
+        (void)engine.Execute(*proc, t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto t1 = std::chrono::steady_clock::now();
+  return Window(before, engine.Stats(), Seconds(t0, t1));
+}
+
+BenchResult RunBohmCount(BohmEngine& engine, const TxnSourceMaker& maker,
+                         uint64_t total_count) {
+  TxnSource source = maker(0);
+  StatsSnapshot before = engine.Stats();
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < total_count; ++i) {
+    (void)engine.Submit(source());
+  }
+  engine.WaitForIdle();
+  auto t1 = std::chrono::steady_clock::now();
+  return Window(before, engine.Stats(), Seconds(t0, t1));
+}
+
+}  // namespace bohm

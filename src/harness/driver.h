@@ -1,0 +1,77 @@
+// Workload drivers shared by every benchmark binary and the integration
+// tests.
+//
+// Two engine shapes exist (mirroring the paper's Section 4 methodology):
+//  * executor engines (2PL, OCC, Hekaton, SI) run transactions on the
+//    submitting thread — the driver spawns N closed-loop worker threads;
+//  * Bohm is pipelined — the driver spawns client threads that feed the
+//    sequencer's input queue while the engine's own threads do the work.
+//
+// Throughput is measured over a timed window after a warmup, as the
+// difference of engine counter snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "bohm/engine.h"
+#include "txn/engine_iface.h"
+
+namespace bohm {
+
+/// A per-thread transaction source: the driver calls the maker once per
+/// worker thread; the returned closure owns that thread's generator state.
+using TxnSource = std::function<ProcedurePtr()>;
+using TxnSourceMaker = std::function<TxnSource(uint32_t thread_id)>;
+
+struct DriverOptions {
+  uint32_t warmup_ms = 100;
+  uint32_t measure_ms = 300;
+};
+
+struct BenchResult {
+  double seconds = 0;
+  uint64_t commits = 0;
+  uint64_t cc_aborts = 0;
+  uint64_t logic_aborts = 0;
+  /// Per-transaction latency in microseconds over the measurement window
+  /// (executor engines only; Bohm's pipelined path reports throughput).
+  Histogram latency_us;
+
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(commits) / seconds : 0.0;
+  }
+  double AbortRate() const {
+    uint64_t attempts = commits + cc_aborts;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(cc_aborts) /
+                               static_cast<double>(attempts);
+  }
+};
+
+/// Closed-loop driver: engine.worker_threads() threads each repeatedly
+/// generate and Execute transactions until the measurement window closes.
+BenchResult RunExecutorBench(ExecutorEngine& engine,
+                             const TxnSourceMaker& maker,
+                             const DriverOptions& opt);
+
+/// Pipelined driver for Bohm: `client_threads` feeder threads submit
+/// transactions (the input queue provides back-pressure) while the
+/// engine's sequencer/CC/execution threads process them. The engine must
+/// already be started.
+BenchResult RunBohmBench(BohmEngine& engine, const TxnSourceMaker& maker,
+                         uint32_t client_threads, const DriverOptions& opt);
+
+/// Fixed-count variants used by integration tests: run exactly `count`
+/// transactions per worker (executor) or `count` in total (Bohm), to
+/// completion, and return the elapsed-time result.
+BenchResult RunExecutorCount(ExecutorEngine& engine,
+                             const TxnSourceMaker& maker,
+                             uint64_t count_per_thread);
+BenchResult RunBohmCount(BohmEngine& engine, const TxnSourceMaker& maker,
+                         uint64_t total_count);
+
+}  // namespace bohm

@@ -1,0 +1,79 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/env.h"
+
+namespace bohm {
+
+Report::Report(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)),
+      columns_(std::move(columns)),
+      csv_(EnvInt64("BOHM_BENCH_CSV", 0) != 0) {}
+
+void Report::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Report::FormatTput(double txns_per_sec) {
+  char buf[32];
+  if (txns_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", txns_per_sec / 1e6);
+  } else if (txns_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", txns_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", txns_per_sec);
+  }
+  return buf;
+}
+
+std::string Report::FormatDouble(double v, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Report::Print() const {
+  if (csv_) {
+    std::printf("# %s\n", title_.c_str());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s%s", c ? "," : "", columns_[c].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::printf("\n");
+    }
+    return;
+  }
+
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace bohm

@@ -1,0 +1,34 @@
+// Row-oriented result reporting for the figure/table benchmarks: aligned
+// human-readable rows on stdout (the "same rows/series the paper reports")
+// plus optional CSV via BOHM_BENCH_CSV=1 for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/driver.h"
+
+namespace bohm {
+
+class Report {
+ public:
+  /// `columns`: header names; first columns are parameters, then one
+  /// throughput column per system (or whatever the bench prints).
+  Report(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Prints the title, header and all rows.
+  void Print() const;
+
+  static std::string FormatTput(double txns_per_sec);
+  static std::string FormatDouble(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  bool csv_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,17 @@
+#include "mvocc/mv_record.h"
+
+namespace bohm {
+
+MVTable::MVTable(const TableSpec& spec)
+    : spec_(spec), capacity_(spec.capacity == 0 ? 1 : spec.capacity) {
+  slots_ = std::make_unique<MVRecordSlot[]>(capacity_);
+}
+
+MVDatabase::MVDatabase(const Catalog& catalog) : catalog_(catalog) {
+  tables_.resize(catalog_.MaxTableId());
+  for (const TableSpec& spec : catalog_.tables()) {
+    tables_[spec.id] = std::make_unique<MVTable>(spec);
+  }
+}
+
+}  // namespace bohm

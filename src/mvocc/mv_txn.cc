@@ -1,0 +1,30 @@
+#include "mvocc/mv_txn.h"
+
+#include <mutex>
+
+namespace bohm {
+
+bool MVTxn::TryRegisterDependent(MVTxn* dependent) {
+  std::lock_guard<SpinLock> guard(dep_lock_);
+  if (State() != MVTxnState::kPreparing) return false;
+  dependents_.push_back(dependent);
+  dependent->dep_count.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void MVTxn::FinishAndResolveDependents(MVTxnState outcome) {
+  std::vector<MVTxn*> to_resolve;
+  {
+    std::lock_guard<SpinLock> guard(dep_lock_);
+    state.store(static_cast<uint32_t>(outcome), std::memory_order_release);
+    to_resolve.swap(dependents_);
+  }
+  for (MVTxn* dep : to_resolve) {
+    if (outcome == MVTxnState::kAborted) {
+      dep->dep_failed.store(true, std::memory_order_release);
+    }
+    dep->dep_count.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace bohm

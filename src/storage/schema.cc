@@ -1,0 +1,38 @@
+#include "storage/schema.h"
+
+namespace bohm {
+
+Catalog::Catalog(std::vector<TableSpec> tables) {
+  for (auto& t : tables) {
+    Status s = AddTable(std::move(t));
+    (void)s;  // duplicate ids in an initializer are a programmer error
+  }
+}
+
+Status Catalog::AddTable(TableSpec spec) {
+  if (Find(spec.id) != nullptr) {
+    return Status::InvalidArgument("duplicate table id");
+  }
+  if (spec.record_size == 0) {
+    return Status::InvalidArgument("record_size must be > 0");
+  }
+  tables_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+const TableSpec* Catalog::Find(TableId id) const {
+  for (const auto& t : tables_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+TableId Catalog::MaxTableId() const {
+  TableId max = 0;
+  for (const auto& t : tables_) {
+    if (t.id + 1 > max) max = t.id + 1;
+  }
+  return max;
+}
+
+}  // namespace bohm

@@ -1,0 +1,47 @@
+// Table schemas. The paper's workloads use fixed-size records (YCSB:
+// 1,000 bytes; SmallBank and the microbenchmark: 8 bytes), so tables are
+// declared with a fixed record size and a capacity hint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/key.h"
+
+namespace bohm {
+
+struct TableSpec {
+  TableId id = 0;
+  std::string name;
+  /// Fixed payload size of every record in this table, in bytes.
+  uint32_t record_size = 8;
+  /// Expected number of distinct keys; sizes hash indexes and, for
+  /// dense-keyed tables, the array index used by the Hekaton/SI engines.
+  uint64_t capacity = 0;
+  /// True when keys are exactly 0..capacity-1. All of the paper's
+  /// workloads are dense-keyed; dense tables let the MV-OCC engines use
+  /// the "simple fixed-size array index" the paper describes.
+  bool dense_keys = true;
+};
+
+/// The set of tables a database instance serves. Immutable once built.
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(std::vector<TableSpec> tables);
+
+  /// Adds a table; ids must be unique. Returns InvalidArgument otherwise.
+  Status AddTable(TableSpec spec);
+
+  const TableSpec* Find(TableId id) const;
+  const std::vector<TableSpec>& tables() const { return tables_; }
+  /// Largest table id + 1 (tables are typically densely numbered).
+  TableId MaxTableId() const;
+
+ private:
+  std::vector<TableSpec> tables_;
+};
+
+}  // namespace bohm

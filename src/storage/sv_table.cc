@@ -1,0 +1,66 @@
+#include "storage/sv_table.h"
+
+#include <cstring>
+#include <new>
+
+namespace bohm {
+namespace {
+
+size_t AlignUp(size_t v, size_t a) { return (v + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+SVTable::SVTable(const TableSpec& spec) : spec_(spec) {
+  slot_bytes_ = AlignUp(sizeof(SVSlot) + spec.record_size, alignof(SVSlot));
+  capacity_ = spec.capacity == 0 ? 1 : spec.capacity;
+  slab_ = std::make_unique<char[]>(slot_bytes_ * capacity_);
+  // 2x capacity keeps the probe sequences short.
+  uint64_t index_size = NextPow2(capacity_ * 2);
+  index_.assign(index_size, IndexEntry{0, 0});
+  index_mask_ = index_size - 1;
+}
+
+Status SVTable::Insert(Key key, const void* initial) {
+  if (count_ >= capacity_) {
+    return Status::ResourceExhausted("table full: " + spec_.name);
+  }
+  uint64_t pos = HashKey(key) & index_mask_;
+  for (;;) {
+    IndexEntry& e = index_[pos];
+    if (e.slot_plus_one == 0) {
+      SVSlot* slot = new (SlotAt(count_)) SVSlot();
+      if (initial != nullptr) {
+        std::memcpy(slot->payload(), initial, spec_.record_size);
+      } else {
+        std::memset(slot->payload(), 0, spec_.record_size);
+      }
+      e.key = key;
+      e.slot_plus_one = static_cast<uint32_t>(count_ + 1);
+      ++count_;
+      return Status::OK();
+    }
+    if (e.key == key) {
+      return Status::InvalidArgument("duplicate key");
+    }
+    pos = (pos + 1) & index_mask_;
+  }
+}
+
+SVSlot* SVTable::Lookup(Key key) const {
+  uint64_t pos = HashKey(key) & index_mask_;
+  for (;;) {
+    const IndexEntry& e = index_[pos];
+    if (e.slot_plus_one == 0) return nullptr;
+    if (e.key == key) return SlotAt(e.slot_plus_one - 1);
+    pos = (pos + 1) & index_mask_;
+  }
+}
+
+SVDatabase::SVDatabase(const Catalog& catalog) : catalog_(catalog) {
+  tables_.resize(catalog_.MaxTableId());
+  for (const TableSpec& spec : catalog_.tables()) {
+    tables_[spec.id] = std::make_unique<SVTable>(spec);
+  }
+}
+
+}  // namespace bohm

@@ -1,0 +1,86 @@
+// Single-version storage used by the Silo-OCC and 2PL baselines.
+//
+// Each record slot carries a 64-bit header word in front of its payload.
+// Silo uses it as the TID word (lock bit | epoch | sequence) of its
+// seqlock-style commit protocol; 2PL leaves it untouched (its locks live
+// in a separate lock table, as in the paper's locking implementation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace bohm {
+
+/// One record: header word + payload bytes, laid out contiguously.
+struct SVSlot {
+  std::atomic<uint64_t> header{0};
+  // payload follows immediately
+  void* payload() { return this + 1; }
+  const void* payload() const { return this + 1; }
+};
+
+/// Hash-indexed fixed-capacity single-version table. Records are inserted
+/// during a single-threaded load phase; steady-state access is lookup-only
+/// (the paper's workloads do not insert), so lookups need no latching.
+class SVTable {
+ public:
+  explicit SVTable(const TableSpec& spec);
+  BOHM_DISALLOW_COPY_AND_ASSIGN(SVTable);
+
+  const TableSpec& spec() const { return spec_; }
+
+  /// Inserts a record with the given initial payload (nullptr zero-fills).
+  /// Single-threaded load phase only. Fails with ResourceExhausted when
+  /// capacity is reached, InvalidArgument on duplicate key.
+  Status Insert(Key key, const void* initial);
+
+  /// Returns the slot for `key`, or nullptr when absent. Safe to call
+  /// concurrently with other lookups and with payload mutation.
+  SVSlot* Lookup(Key key) const;
+
+  uint64_t size() const { return count_; }
+
+ private:
+  struct IndexEntry {
+    Key key;
+    uint32_t slot_plus_one;  // 0 = empty
+  };
+
+  SVSlot* SlotAt(uint64_t i) const {
+    return reinterpret_cast<SVSlot*>(slab_.get() + i * slot_bytes_);
+  }
+
+  TableSpec spec_;
+  size_t slot_bytes_;
+  uint64_t capacity_;
+  uint64_t count_ = 0;
+  std::unique_ptr<char[]> slab_;
+  // Open-addressing index, power-of-two sized, linear probing.
+  std::vector<IndexEntry> index_;
+  uint64_t index_mask_;
+};
+
+/// All single-version tables of a database instance.
+class SVDatabase {
+ public:
+  explicit SVDatabase(const Catalog& catalog);
+  BOHM_DISALLOW_COPY_AND_ASSIGN(SVDatabase);
+
+  SVTable* table(TableId id) const {
+    return id < tables_.size() ? tables_[id].get() : nullptr;
+  }
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  Catalog catalog_;
+  std::vector<std::unique_ptr<SVTable>> tables_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,38 @@
+#include "twopl/lock_table.h"
+
+#include <mutex>
+
+namespace bohm {
+
+LockTable::LockTable(uint64_t expected_records) {
+  uint64_t n = NextPow2(expected_records < 16 ? 16 : expected_records);
+  buckets_ = std::make_unique<Bucket[]>(n);
+  mask_ = n - 1;
+}
+
+LockEntry* LockTable::GetOrCreate(const RecordId& rec) {
+  Bucket& b = buckets_[BucketOf(rec)];
+  // Fast path: latch-free lookup of a published entry.
+  for (LockEntry* e = b.head.load(std::memory_order_acquire); e != nullptr;
+       e = e->next) {
+    if (e->rec == rec) return e;
+  }
+  // Slow path (load phase, or first touch of an unloaded key).
+  std::lock_guard<SpinLock> guard(b.latch);
+  LockEntry* head = b.head.load(std::memory_order_relaxed);
+  for (LockEntry* e = head; e != nullptr; e = e->next) {
+    if (e->rec == rec) return e;
+  }
+  LockEntry* e;
+  {
+    std::lock_guard<SpinLock> arena_guard(arena_latch_);
+    e = arena_.New<LockEntry>();
+  }
+  e->rec = rec;
+  e->next = head;
+  b.head.store(e, std::memory_order_release);
+  count_.fetch_add(1, std::memory_order_acq_rel);
+  return e;
+}
+
+}  // namespace bohm

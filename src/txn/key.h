@@ -1,0 +1,36 @@
+// Record identification. Every record in the database is addressed by a
+// (table id, 64-bit key) pair. Keys are opaque integers; workloads that
+// need string keys hash them into this space before submission (the
+// paper's workloads — YCSB and SmallBank — are integer-keyed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace bohm {
+
+using TableId = uint32_t;
+using Key = uint64_t;
+
+/// Fully-qualified record id. Ordered lexicographically by (table, key),
+/// which is the global lock-acquisition order used by the 2PL engine
+/// ("acquire locks in lexicographic order", Section 4).
+struct RecordId {
+  TableId table = 0;
+  Key key = 0;
+
+  friend auto operator<=>(const RecordId&, const RecordId&) = default;
+};
+
+}  // namespace bohm
+
+template <>
+struct std::hash<bohm::RecordId> {
+  size_t operator()(const bohm::RecordId& r) const noexcept {
+    uint64_t z = r.key + 0x9e3779b97f4a7c15ull * (r.table + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,54 @@
+// TxnOps: the data-access interface a stored procedure sees while it runs.
+//
+// Each engine supplies its own implementation with the semantics of its
+// protocol (Bohm reads version placeholders resolved by the CC phase;
+// Silo reads seqlock-stable copies and buffers writes; 2PL touches storage
+// in place under locks; Hekaton/SI read visible versions and install new
+// ones). Procedure logic is therefore written once and runs unmodified on
+// every engine, mirroring how the paper evaluates one workload across five
+// systems.
+#pragma once
+
+#include <cstdint>
+
+#include "txn/key.h"
+
+namespace bohm {
+
+class TxnOps {
+ public:
+  virtual ~TxnOps() = default;
+
+  /// Returns a pointer to the current (visible) value of a record declared
+  /// in the read set, or nullptr when the record does not exist / is
+  /// deleted. The pointee is stable and immutable for the remainder of
+  /// Run(); it holds exactly `record_size` bytes of the record's table.
+  virtual const void* Read(TableId table, Key key) = 0;
+
+  /// Returns the buffer for the new value of a record declared in the
+  /// write set. The buffer's contents are unspecified on entry; the
+  /// procedure must fully populate all record_size bytes before returning
+  /// (engines may hand out uninitialized version placeholders).
+  virtual void* Write(TableId table, Key key) = 0;
+
+  /// Deletes a record declared in the write set: subsequent transactions
+  /// observe the record as absent. Returns false when the engine does not
+  /// support deletes (the single-version baselines use fixed pre-loaded
+  /// storage, matching the paper's evaluation workloads, which never
+  /// delete). Bohm implements deletes as tombstone versions.
+  virtual bool Delete(TableId table, Key key) {
+    (void)table;
+    (void)key;
+    return false;
+  }
+
+  /// Requests a logical abort: the transaction's writes must not become
+  /// visible. Run() should return soon after calling this.
+  virtual void Abort() = 0;
+
+  /// True once Abort() has been called (either by the procedure or — for
+  /// optimistic engines — internally when the procedure must be re-run).
+  virtual bool aborted() const = 0;
+};
+
+}  // namespace bohm

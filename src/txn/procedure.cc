@@ -1,0 +1,42 @@
+#include "txn/procedure.h"
+
+#include <cstring>
+
+namespace bohm {
+
+PutProcedure::PutProcedure(TableId table, Key key, uint64_t value)
+    : table_(table), key_(key), value_(value) {
+  set_.AddWrite(table, key);
+}
+
+void PutProcedure::Run(TxnOps& ops) {
+  void* buf = ops.Write(table_, key_);
+  std::memcpy(buf, &value_, sizeof(value_));
+}
+
+GetProcedure::GetProcedure(TableId table, Key key, uint64_t* out, bool* found)
+    : table_(table), key_(key), out_(out), found_(found) {
+  set_.AddRead(table, key);
+}
+
+void GetProcedure::Run(TxnOps& ops) {
+  const void* src = ops.Read(table_, key_);
+  if (found_ != nullptr) *found_ = (src != nullptr);
+  if (src != nullptr) std::memcpy(out_, src, sizeof(uint64_t));
+}
+
+IncrementProcedure::IncrementProcedure(TableId table, Key key, uint64_t delta)
+    : table_(table), key_(key), delta_(delta) {
+  set_.AddRmw(table, key);
+}
+
+void IncrementProcedure::Run(TxnOps& ops) {
+  const void* src = ops.Read(table_, key_);
+  uint64_t v = 0;
+  if (src != nullptr) std::memcpy(&v, src, sizeof(v));
+  v += delta_;
+  void* dst = ops.Write(table_, key_);
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+}  // namespace bohm

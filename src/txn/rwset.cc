@@ -1,0 +1,51 @@
+#include "txn/rwset.h"
+
+#include <algorithm>
+
+namespace bohm {
+namespace {
+
+bool HasDuplicates(std::vector<RecordId> v) {
+  std::sort(v.begin(), v.end());
+  return std::adjacent_find(v.begin(), v.end()) != v.end();
+}
+
+}  // namespace
+
+bool ReadWriteSet::IsWritten(const RecordId& id) const {
+  return std::find(writes_.begin(), writes_.end(), id) != writes_.end();
+}
+
+Status ReadWriteSet::Validate() const {
+  if (HasDuplicates(reads_)) {
+    return Status::InvalidArgument("duplicate record in read set");
+  }
+  if (HasDuplicates(writes_)) {
+    return Status::InvalidArgument("duplicate record in write set");
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<RecordId, AccessMode>> ReadWriteSet::LockOrder() const {
+  std::vector<std::pair<RecordId, AccessMode>> order;
+  order.reserve(reads_.size() + writes_.size());
+  for (const RecordId& r : reads_) order.emplace_back(r, AccessMode::kRead);
+  for (const RecordId& w : writes_) order.emplace_back(w, AccessMode::kWrite);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              // Write sorts first among duplicates so the dedup pass below
+              // keeps the stronger mode.
+              return a.second == AccessMode::kWrite &&
+                     b.second == AccessMode::kRead;
+            });
+  // Collapse RMW duplicates to a single exclusive acquisition.
+  auto last = std::unique(order.begin(), order.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          });
+  order.erase(last, order.end());
+  return order;
+}
+
+}  // namespace bohm

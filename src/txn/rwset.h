@@ -1,0 +1,62 @@
+// Declared read/write sets.
+//
+// Bohm's concurrency-control phase requires each transaction's write-set
+// before execution, and exploits the read-set when available (Section 3,
+// "the write-set of a transaction must be deducible before the transaction
+// begins"). The 2PL baseline uses both sets for ordered, deadlock-free
+// lock acquisition. The optimistic engines ignore the declarations and
+// discover accesses dynamically, as real optimistic systems do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/key.h"
+
+namespace bohm {
+
+/// Access intent for one element of a read/write set.
+enum class AccessMode : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+/// A transaction's declared footprint. Element order is preserved: the
+/// Bohm engine annotates reads[i] / writes[i] with version references in
+/// declaration order, so procedures can refer to their accesses by index.
+/// Duplicates within a set are invalid (Validate rejects them); a record
+/// that is read and written (an RMW) appears once in each set.
+class ReadWriteSet {
+ public:
+  ReadWriteSet() = default;
+
+  void AddRead(TableId table, Key key) { reads_.push_back({table, key}); }
+  void AddWrite(TableId table, Key key) { writes_.push_back({table, key}); }
+  void AddRmw(TableId table, Key key) {
+    AddRead(table, key);
+    AddWrite(table, key);
+  }
+
+  const std::vector<RecordId>& reads() const { return reads_; }
+  const std::vector<RecordId>& writes() const { return writes_; }
+
+  /// True when `id` appears in the write set.
+  bool IsWritten(const RecordId& id) const;
+
+  /// Checks structural validity: no duplicate element within either set.
+  /// O(n log n); called once at submission in debug-heavy paths and by
+  /// tests, not per execution.
+  Status Validate() const;
+
+  /// Returns the union of both sets in lexicographic (table, key) order,
+  /// with AccessMode::kWrite winning for records present in both — the
+  /// exact sequence in which the 2PL engine acquires locks.
+  std::vector<std::pair<RecordId, AccessMode>> LockOrder() const;
+
+ private:
+  std::vector<RecordId> reads_;
+  std::vector<RecordId> writes_;
+};
+
+}  // namespace bohm

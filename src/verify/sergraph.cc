@@ -1,0 +1,129 @@
+#include "verify/sergraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bohm {
+
+const char* DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kWw:
+      return "ww";
+    case DepKind::kWr:
+      return "wr";
+    case DepKind::kRw:
+      return "rw";
+  }
+  return "?";
+}
+
+void SerializationGraph::AddTxn(TxnId id) { (void)adj_[id]; }
+
+void SerializationGraph::AddDep(TxnId from, TxnId to, DepKind kind) {
+  if (from == to) return;
+  adj_[from].push_back(Edge{to, kind});
+  (void)adj_[to];
+  ++edges_;
+}
+
+bool SerializationGraph::HasCycle() const { return !FindCycle().empty(); }
+
+std::vector<SerializationGraph::TxnId> SerializationGraph::FindCycle() const {
+  // Iterative three-color DFS; when a back edge (to a gray node) is found,
+  // the path from that node to the top of the stack is a cycle.
+  enum class Color : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  color.reserve(adj_.size());
+  for (const auto& [id, _] : adj_) color[id] = Color::kWhite;
+
+  struct Frame {
+    TxnId id;
+    size_t next_edge;
+  };
+
+  for (const auto& [root, _] : adj_) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      auto it = adj_.find(frame.id);
+      const std::vector<Edge>& out = it->second;
+      if (frame.next_edge < out.size()) {
+        TxnId next = out[frame.next_edge].to;
+        ++frame.next_edge;
+        Color c = color[next];
+        if (c == Color::kGray) {
+          // Found a cycle: slice the stack from `next` to the top.
+          std::vector<TxnId> cycle;
+          size_t start = 0;
+          for (size_t i = 0; i < stack.size(); ++i) {
+            if (stack[i].id == next) {
+              start = i;
+              break;
+            }
+          }
+          for (size_t i = start; i < stack.size(); ++i) {
+            cycle.push_back(stack[i].id);
+          }
+          cycle.push_back(next);
+          return cycle;
+        }
+        if (c == Color::kWhite) {
+          color[next] = Color::kGray;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[frame.id] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<SerializationGraph::TxnId> SerializationGraph::SerialOrder()
+    const {
+  // Kahn's algorithm.
+  std::unordered_map<TxnId, size_t> indegree;
+  indegree.reserve(adj_.size());
+  for (const auto& [id, _] : adj_) indegree[id];
+  for (const auto& [id, out] : adj_) {
+    for (const Edge& e : out) ++indegree[e.to];
+  }
+  std::vector<TxnId> ready;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) ready.push_back(id);
+  }
+  // Deterministic output order helps test diagnostics.
+  std::sort(ready.begin(), ready.end());
+  std::vector<TxnId> order;
+  order.reserve(adj_.size());
+  while (!ready.empty()) {
+    // Pop the smallest ready id (stable across runs).
+    auto min_it = std::min_element(ready.begin(), ready.end());
+    TxnId id = *min_it;
+    *min_it = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (const Edge& e : adj_.at(id)) {
+      if (--indegree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != adj_.size()) return {};  // cyclic
+  return order;
+}
+
+std::string SerializationGraph::ToString() const {
+  std::ostringstream os;
+  for (const auto& [id, out] : adj_) {
+    for (const Edge& e : out) {
+      os << "T" << id << " -" << DepKindName(e.kind) << "-> T" << e.to
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bohm

@@ -1,0 +1,65 @@
+// Serialization graphs — the formalism the paper uses to define
+// serializability (Section 2, citing Adya et al.): nodes are committed
+// transactions; edges are write-write (ww), write-read (wr) and
+// read-write (rw, "anti-dependency") dependencies; an execution is
+// serializable iff its graph is acyclic.
+//
+// Used as a *testing oracle*: tests extract dependency edges from engine
+// executions (exactly, for Bohm, from its version chains) and assert
+// acyclicity — or, for Snapshot Isolation's write-skew anomaly, assert
+// that the expected rw-rw cycle is present.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace bohm {
+
+enum class DepKind : uint8_t { kWw, kWr, kRw };
+
+const char* DepKindName(DepKind kind);
+
+class SerializationGraph {
+ public:
+  using TxnId = uint64_t;
+
+  void AddTxn(TxnId id);
+  /// Adds a dependency edge `from` -> `to` (self-edges are ignored:
+  /// a transaction trivially depends on itself). Nodes are added
+  /// implicitly.
+  void AddDep(TxnId from, TxnId to, DepKind kind);
+
+  size_t NodeCount() const { return adj_.size(); }
+  size_t EdgeCount() const { return edges_; }
+
+  /// True when the graph contains a cycle.
+  bool HasCycle() const;
+
+  /// Returns one cycle as a list of transaction ids (first == last), or
+  /// an empty vector when the graph is acyclic. Iterative DFS — safe for
+  /// graphs with very long paths.
+  std::vector<TxnId> FindCycle() const;
+
+  /// A topological order of the transactions (a valid serial order), or
+  /// an empty vector when the graph is cyclic.
+  std::vector<TxnId> SerialOrder() const;
+
+  /// Human-readable edge dump for diagnostics.
+  std::string ToString() const;
+
+ private:
+  struct Edge {
+    TxnId to;
+    DepKind kind;
+  };
+
+  std::unordered_map<TxnId, std::vector<Edge>> adj_;
+  size_t edges_ = 0;
+};
+
+}  // namespace bohm

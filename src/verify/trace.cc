@@ -1,0 +1,68 @@
+#include "verify/trace.h"
+
+namespace bohm {
+
+SerializationGraph BuildSerializationGraph(
+    const std::vector<TraceTxn>& txns,
+    const std::unordered_map<RecordId, KeyHistory>& histories) {
+  SerializationGraph graph;
+
+  // value -> writer id (write values are unique by contract).
+  std::unordered_map<uint64_t, uint64_t> value_writer;
+  for (const TraceTxn& t : txns) {
+    graph.AddTxn(t.id);
+    for (const auto& [rec, value] : t.writes) {
+      (void)rec;
+      value_writer[value] = t.id;
+    }
+  }
+
+  // (key, writer id) -> position in the key's version order.
+  std::unordered_map<RecordId, std::unordered_map<uint64_t, size_t>>
+      position;
+  for (const auto& [rec, hist] : histories) {
+    auto& pos = position[rec];
+    for (size_t i = 0; i < hist.writer_ids.size(); ++i) {
+      pos[hist.writer_ids[i]] = i;
+    }
+  }
+
+  // ww edges: consecutive committed writers of each key.
+  for (const auto& [rec, hist] : histories) {
+    (void)rec;
+    for (size_t i = 1; i < hist.writer_ids.size(); ++i) {
+      graph.AddDep(hist.writer_ids[i - 1], hist.writer_ids[i], DepKind::kWw);
+    }
+  }
+
+  // wr and rw edges from each transaction's reads.
+  for (const TraceTxn& t : txns) {
+    for (const auto& [rec, value] : t.reads) {
+      auto hist_it = histories.find(rec);
+      const KeyHistory* hist =
+          hist_it == histories.end() ? nullptr : &hist_it->second;
+
+      auto w_it = value_writer.find(value);
+      if (w_it != value_writer.end()) {
+        const uint64_t writer = w_it->second;
+        graph.AddDep(writer, t.id, DepKind::kWr);
+        // Anti-dependency on the version that superseded the one read.
+        if (hist != nullptr) {
+          auto pos_it = position[rec].find(writer);
+          if (pos_it != position[rec].end() &&
+              pos_it->second + 1 < hist->writer_ids.size()) {
+            graph.AddDep(t.id, hist->writer_ids[pos_it->second + 1],
+                         DepKind::kRw);
+          }
+        }
+      } else if (hist != nullptr && !hist->writer_ids.empty()) {
+        // Read of the initial version: anti-dependency on the first
+        // committed writer.
+        graph.AddDep(t.id, hist->writer_ids.front(), DepKind::kRw);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace bohm

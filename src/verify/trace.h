@@ -1,0 +1,49 @@
+// Building serialization graphs from execution traces.
+//
+// Verification workloads make every write value unique (the value encodes
+// the writing transaction), so the "reads-from" relation is recoverable
+// from observed values alone. Combined with the per-key version order —
+// which Bohm's version chains expose exactly (run with GC disabled) —
+// this yields the complete Adya dependency graph of an execution:
+//
+//   ww: consecutive writers of a key, in version order
+//   wr: version's writer -> any transaction that observed the version
+//   rw: observer of version i -> writer of version i+1 (anti-dependency)
+//
+// The graph must be acyclic for every serializable engine; SI traces may
+// contain the write-skew rw-rw cycle (Section 2 / Figure 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/key.h"
+#include "verify/sergraph.h"
+
+namespace bohm {
+
+/// What one committed transaction observed and produced. Values must be
+/// globally unique per (writer, key) across the trace.
+struct TraceTxn {
+  uint64_t id = 0;
+  /// key -> value observed (omit keys that read "record absent").
+  std::unordered_map<RecordId, uint64_t> reads;
+  /// key -> value written.
+  std::unordered_map<RecordId, uint64_t> writes;
+};
+
+/// Committed write order of one record, oldest to newest, as transaction
+/// ids; the initially-loaded version is implicit and precedes writers[0].
+struct KeyHistory {
+  std::vector<uint64_t> writer_ids;
+};
+
+/// Builds the dependency graph. Reads of values not written by any traced
+/// transaction are treated as reads of the initial version (rw edge to
+/// the key's first writer, no wr edge).
+SerializationGraph BuildSerializationGraph(
+    const std::vector<TraceTxn>& txns,
+    const std::unordered_map<RecordId, KeyHistory>& histories);
+
+}  // namespace bohm

@@ -1,0 +1,27 @@
+#include "workload/micro.h"
+
+namespace bohm {
+
+namespace {
+
+YcsbConfig ToYcsb(const MicroConfig& cfg) {
+  YcsbConfig y;
+  y.record_count = cfg.record_count;
+  y.record_size = 8;
+  y.theta = 0.0;  // uniform: "transactions rarely conflict" (Section 4.1)
+  return y;
+}
+
+}  // namespace
+
+Catalog MicroCatalog(const MicroConfig& cfg) { return YcsbCatalog(ToYcsb(cfg)); }
+
+MicroGenerator::MicroGenerator(const MicroConfig& cfg, uint64_t seed)
+    : cfg_(cfg), inner_(ToYcsb(cfg), seed) {}
+
+ProcedurePtr MicroGenerator::Make() {
+  return std::make_unique<YcsbRmwProcedure>(
+      inner_.DrawDistinctKeys(cfg_.ops_per_txn), 8);
+}
+
+}  // namespace bohm

@@ -1,0 +1,32 @@
+// The concurrency-control scalability microbenchmark of Section 4.1 /
+// Figure 4: "short, simple transactions, involving only 10 RMWs of
+// different records ... each record is very small (a single 64-bit
+// integer) ... 1,000,000 records ... chosen from a uniform distribution."
+// Structurally a YCSB 10RMW workload with 8-byte records and theta = 0;
+// expressed as its own config so the Figure-4 bench reads like the paper.
+#pragma once
+
+#include "workload/ycsb.h"
+
+namespace bohm {
+
+struct MicroConfig {
+  uint64_t record_count = 1'000'000;
+  uint32_t ops_per_txn = 10;
+};
+
+/// The microbenchmark's single table: 8-byte integer records.
+Catalog MicroCatalog(const MicroConfig& cfg);
+
+/// Per-thread generator of uniform N-RMW increment transactions.
+class MicroGenerator {
+ public:
+  MicroGenerator(const MicroConfig& cfg, uint64_t seed);
+  ProcedurePtr Make();
+
+ private:
+  MicroConfig cfg_;
+  YcsbGenerator inner_;
+};
+
+}  // namespace bohm

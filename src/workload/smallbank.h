@@ -1,0 +1,144 @@
+// The SmallBank benchmark (Cahill [9]) as used in Section 4.3: three
+// tables (Customer, Savings, Checking) and five transaction types
+// (Balance, DepositChecking, TransactSaving, Amalgamate, WriteCheck).
+// Contention is controlled by the number of customers (50 = high
+// contention, 100,000 = low). Balances are 8-byte signed integers; each
+// transaction additionally spins for a configurable duration ("each
+// transaction spins for 50 microseconds", Section 4.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/status.h"
+#include "storage/schema.h"
+#include "txn/procedure.h"
+
+namespace bohm {
+
+inline constexpr TableId kSbCustomerTable = 0;
+inline constexpr TableId kSbSavingsTable = 1;
+inline constexpr TableId kSbCheckingTable = 2;
+
+struct SmallBankConfig {
+  uint64_t customers = 100'000;
+  int64_t initial_savings = 1000;
+  int64_t initial_checking = 1000;
+  /// Per-transaction busy-spin (microseconds); 50 in the paper. 0 disables.
+  uint32_t spin_us = 0;
+};
+
+Catalog SmallBankCatalog(const SmallBankConfig& cfg);
+
+/// Loads all three tables through an engine Load function.
+template <typename LoadFn>
+Status SmallBankLoad(const SmallBankConfig& cfg, LoadFn&& sink) {
+  for (uint64_t c = 0; c < cfg.customers; ++c) {
+    int64_t cid = static_cast<int64_t>(c);
+    Status s = sink(kSbCustomerTable, c, &cid);
+    if (!s.ok()) return s;
+    s = sink(kSbSavingsTable, c, &cfg.initial_savings);
+    if (!s.ok()) return s;
+    s = sink(kSbCheckingTable, c, &cfg.initial_checking);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+/// Busy-spins for `us` microseconds (the paper's per-transaction work).
+void SmallBankSpin(uint32_t us);
+
+/// Balance: read-only — returns a customer's total balance.
+class BalanceProcedure final : public StoredProcedure {
+ public:
+  BalanceProcedure(Key customer, uint32_t spin_us);
+  void Run(TxnOps& ops) override;
+  int64_t total() const { return total_; }
+
+ private:
+  Key customer_;
+  uint32_t spin_us_;
+  int64_t total_ = 0;
+};
+
+/// DepositChecking: checking(c) += amount.
+class DepositCheckingProcedure final : public StoredProcedure {
+ public:
+  DepositCheckingProcedure(Key customer, int64_t amount, uint32_t spin_us);
+  void Run(TxnOps& ops) override;
+
+ private:
+  Key customer_;
+  int64_t amount_;
+  uint32_t spin_us_;
+};
+
+/// TransactSaving: savings(c) += amount; aborts when the result would be
+/// negative (the benchmark's only logic abort).
+class TransactSavingProcedure final : public StoredProcedure {
+ public:
+  TransactSavingProcedure(Key customer, int64_t amount, uint32_t spin_us);
+  void Run(TxnOps& ops) override;
+
+ private:
+  Key customer_;
+  int64_t amount_;
+  uint32_t spin_us_;
+};
+
+/// Amalgamate: moves all funds of customer0 into customer1's checking.
+class AmalgamateProcedure final : public StoredProcedure {
+ public:
+  AmalgamateProcedure(Key customer0, Key customer1, uint32_t spin_us);
+  void Run(TxnOps& ops) override;
+
+ private:
+  Key customer0_;
+  Key customer1_;
+  uint32_t spin_us_;
+};
+
+/// WriteCheck: writes a check against the total balance; overdrafts incur
+/// a 1-unit penalty (Cahill's semantics).
+class WriteCheckProcedure final : public StoredProcedure {
+ public:
+  WriteCheckProcedure(Key customer, int64_t amount, uint32_t spin_us);
+  void Run(TxnOps& ops) override;
+
+ private:
+  Key customer_;
+  int64_t amount_;
+  uint32_t spin_us_;
+};
+
+/// Per-thread generator producing the uniform five-way mix (20% of
+/// transactions are the read-only Balance, as the paper notes).
+class SmallBankGenerator {
+ public:
+  enum class TxnType : uint32_t {
+    kBalance = 0,
+    kDepositChecking = 1,
+    kTransactSaving = 2,
+    kAmalgamate = 3,
+    kWriteCheck = 4,
+  };
+
+  SmallBankGenerator(const SmallBankConfig& cfg, uint64_t seed);
+
+  ProcedurePtr Make();                // uniform mix
+  ProcedurePtr Make(TxnType type);    // specific type
+  /// Restricted mix used by conservation property tests: Balance +
+  /// Amalgamate only (no external money flow).
+  ProcedurePtr MakeConserving();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Key RandomCustomer() { return rng_.Uniform(cfg_.customers); }
+
+  SmallBankConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace bohm

@@ -1,0 +1,170 @@
+#include "bohm/table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bohm/version.h"
+
+namespace bohm {
+namespace {
+
+TableSpec Spec(uint64_t cap) {
+  TableSpec s;
+  s.id = 0;
+  s.name = "t";
+  s.record_size = 8;
+  s.capacity = cap;
+  return s;
+}
+
+TEST(BohmTableTest, PartitionIsStable) {
+  BohmTable t(Spec(1000), 4);
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(t.PartitionOf(k), t.PartitionOf(k));
+    EXPECT_LT(t.PartitionOf(k), 4u);
+  }
+}
+
+TEST(BohmTableTest, PartitionsCoverAllThreads) {
+  BohmTable t(Spec(100000), 4);
+  std::vector<bool> hit(4, false);
+  for (Key k = 0; k < 1000; ++k) hit[t.PartitionOf(k)] = true;
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+TEST(BohmTableTest, GetOrInsertFindsSame) {
+  BohmTable t(Spec(100), 2);
+  Key k = 42;
+  uint32_t p = t.PartitionOf(k);
+  BohmIndexEntry* e1 = t.GetOrInsert(p, k);
+  BohmIndexEntry* e2 = t.GetOrInsert(p, k);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(t.Find(p, k), e1);
+}
+
+TEST(BohmTableTest, FindMissingReturnsNull) {
+  BohmTable t(Spec(100), 2);
+  EXPECT_EQ(t.Find(t.PartitionOf(5), 5), nullptr);
+}
+
+TEST(BohmTableTest, EntryCountPerPartition) {
+  BohmTable t(Spec(1000), 2);
+  uint64_t total = 0;
+  for (Key k = 0; k < 100; ++k) {
+    (void)t.GetOrInsert(t.PartitionOf(k), k);
+  }
+  for (uint32_t p = 0; p < 2; ++p) total += t.EntryCount(p);
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(BohmTableTest, ManyKeysNoCollisionLoss) {
+  constexpr uint64_t kN = 50000;
+  BohmTable t(Spec(kN), 3);
+  for (Key k = 0; k < kN; ++k) {
+    (void)t.GetOrInsert(t.PartitionOf(k), k);
+  }
+  for (Key k = 0; k < kN; ++k) {
+    ASSERT_NE(t.Find(t.PartitionOf(k), k), nullptr) << k;
+  }
+}
+
+TEST(BohmTableTest, ConcurrentReadersDuringOwnerInserts) {
+  // One owner thread inserts into its partition while readers look up:
+  // readers must only ever see fully-initialized entries (correct key,
+  // never a crash), the single-writer/multi-reader discipline of
+  // Section 3.3.1.
+  BohmTable t(Spec(100000), 1);  // single partition: all keys owned by 0
+  constexpr Key kMax = 20000;
+  std::atomic<Key> published{0};
+  std::atomic<bool> failed{false};
+
+  std::thread owner([&] {
+    for (Key k = 0; k < kMax; ++k) {
+      BohmIndexEntry* e = t.GetOrInsert(0, k);
+      e->head.store(reinterpret_cast<Version*>(k + 1),
+                    std::memory_order_release);
+      published.store(k, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (published.load(std::memory_order_acquire) < kMax - 1) {
+        Key upto = published.load(std::memory_order_acquire);
+        for (Key k = 0; k <= upto; k += 97) {
+          BohmIndexEntry* e = t.Find(0, k);
+          if (e == nullptr || e->key != k) {
+            failed.store(true, std::memory_order_release);
+            return;
+          }
+        }
+      }
+    });
+  }
+  owner.join();
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(VersionAllocatorTest, AllocInitializesFields) {
+  VersionAllocator alloc;
+  Version* v = alloc.Alloc(0, 8);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->begin_ts, kLoadTs);
+  EXPECT_EQ(v->end_ts.load(), kInfinityTs);
+  EXPECT_FALSE(v->ready());
+  EXPECT_FALSE(v->tombstone());
+  EXPECT_EQ(v->prev, nullptr);
+  EXPECT_EQ(v->producer, nullptr);
+}
+
+TEST(VersionAllocatorTest, FreeListRecycles) {
+  VersionAllocator alloc;
+  Version* v = alloc.Alloc(0, 8);
+  v->begin_ts = 55;
+  v->flags.store(kVersionReady, std::memory_order_relaxed);
+  alloc.Free(v);
+  EXPECT_EQ(alloc.FreeCount(), 1u);
+  Version* v2 = alloc.Alloc(0, 8);
+  EXPECT_EQ(v2, v);  // recycled
+  EXPECT_EQ(v2->begin_ts, kLoadTs);  // re-initialized
+  EXPECT_FALSE(v2->ready());
+  EXPECT_EQ(alloc.FreeCount(), 0u);
+}
+
+TEST(VersionAllocatorTest, PerTableFreeLists) {
+  VersionAllocator alloc;
+  Version* small = alloc.Alloc(0, 8);
+  Version* big = alloc.Alloc(1, 1000);
+  alloc.Free(small);
+  alloc.Free(big);
+  EXPECT_EQ(alloc.FreeCount(), 2u);
+  // Allocation for table 1 must come from table 1's list (payload size!).
+  Version* big2 = alloc.Alloc(1, 1000);
+  EXPECT_EQ(big2, big);
+  std::memset(big2->data(), 0xEE, 1000);  // fully usable
+}
+
+TEST(VersionTest, PayloadContiguous) {
+  VersionAllocator alloc;
+  Version* v = alloc.Alloc(0, 64);
+  EXPECT_EQ(v->data(), static_cast<void*>(v + 1));
+  std::memset(v->data(), 0x11, 64);
+}
+
+TEST(BohmDatabaseTest, TablesConstructed) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(Spec(100)).ok());
+  BohmDatabase db(c, 4);
+  EXPECT_NE(db.table(0), nullptr);
+  EXPECT_EQ(db.table(1), nullptr);
+  EXPECT_EQ(db.partitions(), 4u);
+  EXPECT_EQ(db.table(0)->partitions(), 4u);
+}
+
+}  // namespace
+}  // namespace bohm

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/driver.h"
+#include "harness/engines.h"
+#include "harness/report.h"
+#include "harness/sweep.h"
+#include "test_util.h"
+#include "workload/micro.h"
+
+namespace bohm {
+namespace {
+
+using testutil::OneTable;
+
+TEST(DriverTest, ExecutorCountRunsExactly) {
+  auto engine = MakeExecutorEngine(EngineKind::k2PL, OneTable(64), 2);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine->Load(0, k, &zero).ok());
+  BenchResult r = RunExecutorCount(
+      *engine,
+      [&](uint32_t tid) {
+        auto rng = std::make_shared<Rng>(tid);
+        return [rng]() -> ProcedurePtr {
+          return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+        };
+      },
+      100);
+  EXPECT_EQ(r.commits, 200u);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.Throughput(), 0.0);
+}
+
+TEST(DriverTest, ExecutorTimedWindowCommitsSomething) {
+  auto engine = MakeExecutorEngine(EngineKind::kOCC, OneTable(64), 2);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine->Load(0, k, &zero).ok());
+  DriverOptions opt;
+  opt.warmup_ms = 10;
+  opt.measure_ms = 50;
+  BenchResult r = RunExecutorBench(
+      *engine,
+      [&](uint32_t tid) {
+        auto rng = std::make_shared<Rng>(tid);
+        return [rng]() -> ProcedurePtr {
+          return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+        };
+      },
+      opt);
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_NEAR(r.seconds, 0.05, 0.05);
+}
+
+TEST(DriverTest, BohmCountCompletesAll) {
+  BohmConfig cfg;
+  cfg.batch_size = 16;
+  BohmEngine engine(OneTable(64), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  BenchResult r = RunBohmCount(
+      engine,
+      [&](uint32_t tid) {
+        auto rng = std::make_shared<Rng>(tid);
+        return [rng]() -> ProcedurePtr {
+          return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+        };
+      },
+      500);
+  EXPECT_EQ(r.commits, 500u);
+  engine.Stop();
+}
+
+TEST(DriverTest, BohmTimedWindow) {
+  BohmConfig cfg;
+  cfg.batch_size = 32;
+  BohmEngine engine(OneTable(64), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  DriverOptions opt;
+  opt.warmup_ms = 10;
+  opt.measure_ms = 50;
+  BenchResult r = RunBohmBench(
+      engine,
+      [&](uint32_t tid) {
+        auto rng = std::make_shared<Rng>(tid);
+        return [rng]() -> ProcedurePtr {
+          return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+        };
+      },
+      1, opt);
+  EXPECT_GT(r.commits, 0u);
+  engine.Stop();
+}
+
+TEST(SweepTest, BohmSplitCoversCases) {
+  BohmConfig c1 = BohmSplit(1);
+  EXPECT_EQ(c1.cc_threads, 1u);
+  EXPECT_EQ(c1.exec_threads, 1u);
+  BohmConfig c4 = BohmSplit(4);
+  EXPECT_EQ(c4.cc_threads + c4.exec_threads, 4u);
+  BohmConfig c5 = BohmSplit(5);
+  EXPECT_EQ(c5.cc_threads + c5.exec_threads, 5u);
+  BohmConfig c0 = BohmSplit(0);
+  EXPECT_GE(c0.cc_threads, 1u);
+  EXPECT_GE(c0.exec_threads, 1u);
+}
+
+TEST(SweepTest, EnvOverridesThreads) {
+  ::setenv("BOHM_BENCH_THREADS", "3,9", 1);
+  auto v = BenchThreads();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 9);
+  ::unsetenv("BOHM_BENCH_THREADS");
+}
+
+TEST(SweepTest, ScanSizeClampedToHalfTable) {
+  ::unsetenv("BOHM_BENCH_SCAN_SIZE");
+  EXPECT_EQ(BenchScanSize(1'000'000), 10'000u);
+  EXPECT_EQ(BenchScanSize(100), 50u);
+}
+
+TEST(ReportTest, FormatTput) {
+  EXPECT_EQ(Report::FormatTput(2'500'000), "2.50M");
+  EXPECT_EQ(Report::FormatTput(12'300), "12.3K");
+  EXPECT_EQ(Report::FormatTput(42), "42");
+}
+
+TEST(ReportTest, PrintDoesNotCrash) {
+  Report r("test table", {"threads", "tput"});
+  r.AddRow({"1", "10K"});
+  r.AddRow({"2", "20K"});
+  r.Print();
+}
+
+TEST(ReportTest, BenchResultMath) {
+  BenchResult r;
+  r.seconds = 2.0;
+  r.commits = 100;
+  r.cc_aborts = 100;
+  EXPECT_DOUBLE_EQ(r.Throughput(), 50.0);
+  EXPECT_DOUBLE_EQ(r.AbortRate(), 0.5);
+}
+
+TEST(EngineFactoryTest, NamesMatch) {
+  Catalog c = OneTable(4);
+  EXPECT_STREQ(MakeExecutorEngine(EngineKind::k2PL, c, 1)->name(), "2PL");
+  EXPECT_STREQ(MakeExecutorEngine(EngineKind::kOCC, c, 1)->name(), "OCC");
+  EXPECT_STREQ(MakeExecutorEngine(EngineKind::kSI, c, 1)->name(), "SI");
+  EXPECT_STREQ(MakeExecutorEngine(EngineKind::kHekaton, c, 1)->name(),
+               "Hekaton");
+}
+
+}  // namespace
+}  // namespace bohm

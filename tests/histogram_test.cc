@@ -1,0 +1,111 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rand.h"
+
+namespace bohm {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_EQ(h.max(), 42u);
+  // 42 lands in a bucket whose upper bound is >= 42 and close to it.
+  EXPECT_GE(h.Percentile(0.5), 42u);
+  EXPECT_LE(h.Percentile(0.5), 47u);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  // Values below kSubBuckets get exact buckets.
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 15u);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.Record(rng.Uniform(1'000'000));
+  uint64_t p25 = h.Percentile(0.25);
+  uint64_t p50 = h.Percentile(0.50);
+  uint64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, h.max());
+}
+
+TEST(HistogramTest, UniformMedianNearHalf) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 200000; ++i) h.Record(rng.Uniform(1000));
+  uint64_t p50 = h.Percentile(0.5);
+  EXPECT_GT(p50, 400u);
+  EXPECT_LT(p50, 600u);
+}
+
+TEST(HistogramTest, BoundedRelativeError) {
+  // Every recorded value's bucket upper bound is within 1/16 relative
+  // error (the log-bucket resolution).
+  Histogram h;
+  std::vector<uint64_t> probes = {1, 17, 100, 12345, 999999, 1u << 30};
+  for (uint64_t v : probes) {
+    Histogram one;
+    one.Record(v);
+    uint64_t est = one.Percentile(0.5);
+    EXPECT_GE(est, v);
+    EXPECT_LE(static_cast<double>(est), static_cast<double>(v) * 1.07 + 1);
+  }
+  (void)h;
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, QuantileClamped) {
+  Histogram h;
+  h.Record(7);
+  EXPECT_EQ(h.Percentile(-1.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(2.0), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(UINT64_MAX / 2);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.Percentile(0.9), 0u);
+}
+
+}  // namespace
+}  // namespace bohm

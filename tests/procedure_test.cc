@@ -1,0 +1,113 @@
+#include "txn/procedure.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace bohm {
+namespace {
+
+/// In-memory TxnOps over a map of 8-byte records; validates that
+/// procedures only touch declared elements.
+class FakeOps final : public TxnOps {
+ public:
+  explicit FakeOps(const ReadWriteSet* declared = nullptr)
+      : declared_(declared) {}
+
+  const void* Read(TableId table, Key key) override {
+    if (declared_ != nullptr) {
+      bool found = false;
+      for (const auto& r : declared_->reads()) {
+        if (r.table == table && r.key == key) found = true;
+      }
+      EXPECT_TRUE(found) << "undeclared read " << table << "/" << key;
+    }
+    auto it = store_.find({table, key});
+    return it == store_.end() ? nullptr : &it->second;
+  }
+
+  void* Write(TableId table, Key key) override {
+    if (declared_ != nullptr) {
+      bool found = false;
+      for (const auto& w : declared_->writes()) {
+        if (w.table == table && w.key == key) found = true;
+      }
+      EXPECT_TRUE(found) << "undeclared write " << table << "/" << key;
+    }
+    return &store_[{table, key}];
+  }
+
+  void Abort() override { aborted_ = true; }
+  bool aborted() const override { return aborted_; }
+
+  void Put(TableId table, Key key, uint64_t v) { store_[{table, key}] = v; }
+  uint64_t Get(TableId table, Key key) { return store_[{table, key}]; }
+
+ private:
+  const ReadWriteSet* declared_;
+  std::map<RecordId, uint64_t> store_;
+  bool aborted_ = false;
+};
+
+TEST(ProcedureTest, PutWritesValue) {
+  PutProcedure p(0, 7, 99);
+  EXPECT_EQ(p.rwset().writes().size(), 1u);
+  EXPECT_TRUE(p.rwset().reads().empty());
+  FakeOps ops(&p.rwset());
+  p.Run(ops);
+  EXPECT_EQ(ops.Get(0, 7), 99u);
+}
+
+TEST(ProcedureTest, GetReadsValue) {
+  uint64_t out = 0;
+  bool found = false;
+  GetProcedure p(0, 7, &out, &found);
+  FakeOps ops(&p.rwset());
+  ops.Put(0, 7, 1234);
+  p.Run(ops);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(out, 1234u);
+}
+
+TEST(ProcedureTest, GetMissingReportsNotFound) {
+  uint64_t out = 55;
+  bool found = true;
+  GetProcedure p(0, 8, &out, &found);
+  FakeOps ops(&p.rwset());
+  p.Run(ops);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(out, 55u);  // untouched
+}
+
+TEST(ProcedureTest, IncrementIsRmw) {
+  IncrementProcedure p(0, 3, 5);
+  EXPECT_EQ(p.rwset().reads().size(), 1u);
+  EXPECT_EQ(p.rwset().writes().size(), 1u);
+  FakeOps ops(&p.rwset());
+  ops.Put(0, 3, 10);
+  p.Run(ops);
+  EXPECT_EQ(ops.Get(0, 3), 15u);
+}
+
+TEST(ProcedureTest, IncrementOnMissingStartsFromZero) {
+  IncrementProcedure p(1, 9);
+  FakeOps ops(&p.rwset());
+  p.Run(ops);
+  EXPECT_EQ(ops.Get(1, 9), 1u);
+}
+
+TEST(ProcedureTest, RunIsRepeatable) {
+  // Engines re-run procedures after cc aborts; same input, same output.
+  IncrementProcedure p(0, 1, 2);
+  FakeOps ops1(&p.rwset()), ops2(&p.rwset());
+  ops1.Put(0, 1, 4);
+  ops2.Put(0, 1, 4);
+  p.Run(ops1);
+  p.Run(ops2);
+  EXPECT_EQ(ops1.Get(0, 1), ops2.Get(0, 1));
+}
+
+}  // namespace
+}  // namespace bohm

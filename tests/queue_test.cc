@@ -1,0 +1,106 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace bohm {
+namespace {
+
+TEST(MpmcQueueTest, PushPopSingleThread) {
+  MpmcQueue<int> q(8);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  int v = 0;
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.TryPop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(MpmcQueueTest, EmptyPopFails) {
+  MpmcQueue<int> q(8);
+  int v;
+  EXPECT_FALSE(q.TryPop(&v));
+}
+
+TEST(MpmcQueueTest, FullPushFails) {
+  MpmcQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));
+}
+
+TEST(MpmcQueueTest, FifoWithinCapacityCycles) {
+  MpmcQueue<int> q(4);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.TryPush(round * 4 + i));
+    for (int i = 0; i < 4; ++i) {
+      int v;
+      ASSERT_TRUE(q.TryPop(&v));
+      EXPECT_EQ(v, round * 4 + i);
+    }
+  }
+}
+
+TEST(MpmcQueueTest, MovesUniquePtrs) {
+  MpmcQueue<std::unique_ptr<int>> q(4);
+  q.Push(std::make_unique<int>(5));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(*out, 5);
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersConserveSum) {
+  // 4 producers push 5000 values each; 4 consumers drain them. The sum of
+  // consumed values must equal the sum of produced values, with no loss
+  // and no duplication.
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 5000;
+  MpmcQueue<uint64_t> q(256);
+  std::atomic<uint64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(static_cast<uint64_t>(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      uint64_t v;
+      while (!done.load(std::memory_order_acquire) ||
+             consumed_count.load(std::memory_order_acquire) <
+                 kProducers * kPerProducer) {
+        if (q.TryPop(&v)) {
+          consumed_sum.fetch_add(v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+        if (consumed_count.load(std::memory_order_acquire) ==
+            kProducers * kPerProducer) {
+          break;
+        }
+      }
+    });
+  }
+  for (size_t i = 0; i < static_cast<size_t>(kProducers); ++i) {
+    threads[i].join();
+  }
+  done.store(true, std::memory_order_release);
+  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  const uint64_t total = static_cast<uint64_t>(kProducers) * kPerProducer;
+  uint64_t expected = total * (total - 1) / 2;
+  EXPECT_EQ(consumed_count.load(), static_cast<int>(total));
+  EXPECT_EQ(consumed_sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace bohm

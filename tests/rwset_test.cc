@@ -1,0 +1,86 @@
+#include "txn/rwset.h"
+
+#include <gtest/gtest.h>
+
+namespace bohm {
+namespace {
+
+TEST(RecordIdTest, LexicographicOrder) {
+  EXPECT_LT((RecordId{0, 5}), (RecordId{1, 0}));
+  EXPECT_LT((RecordId{1, 2}), (RecordId{1, 3}));
+  EXPECT_EQ((RecordId{2, 2}), (RecordId{2, 2}));
+}
+
+TEST(RwSetTest, AddAndInspect) {
+  ReadWriteSet s;
+  s.AddRead(0, 1);
+  s.AddWrite(0, 2);
+  s.AddRmw(1, 3);
+  EXPECT_EQ(s.reads().size(), 2u);   // read(0,1) + rmw-read(1,3)
+  EXPECT_EQ(s.writes().size(), 2u);  // write(0,2) + rmw-write(1,3)
+  EXPECT_TRUE(s.IsWritten(RecordId{0, 2}));
+  EXPECT_TRUE(s.IsWritten(RecordId{1, 3}));
+  EXPECT_FALSE(s.IsWritten(RecordId{0, 1}));
+}
+
+TEST(RwSetTest, ValidateAcceptsDistinct) {
+  ReadWriteSet s;
+  s.AddRead(0, 1);
+  s.AddRead(0, 2);
+  s.AddWrite(0, 1);  // same record read+written is an RMW, allowed
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(RwSetTest, ValidateRejectsDuplicateReads) {
+  ReadWriteSet s;
+  s.AddRead(0, 1);
+  s.AddRead(0, 1);
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(RwSetTest, ValidateRejectsDuplicateWrites) {
+  ReadWriteSet s;
+  s.AddWrite(2, 9);
+  s.AddWrite(2, 9);
+  EXPECT_TRUE(s.Validate().IsInvalidArgument());
+}
+
+TEST(RwSetTest, LockOrderSortedLexicographically) {
+  ReadWriteSet s;
+  s.AddWrite(1, 5);
+  s.AddRead(0, 9);
+  s.AddRead(1, 2);
+  auto order = s.LockOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].first, (RecordId{0, 9}));
+  EXPECT_EQ(order[1].first, (RecordId{1, 2}));
+  EXPECT_EQ(order[2].first, (RecordId{1, 5}));
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1].first, order[i].first);
+  }
+}
+
+TEST(RwSetTest, LockOrderCollapsesRmwToExclusive) {
+  ReadWriteSet s;
+  s.AddRmw(0, 7);
+  s.AddRead(0, 3);
+  auto order = s.LockOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].first, (RecordId{0, 3}));
+  EXPECT_EQ(order[0].second, AccessMode::kRead);
+  EXPECT_EQ(order[1].first, (RecordId{0, 7}));
+  EXPECT_EQ(order[1].second, AccessMode::kWrite);
+}
+
+TEST(RwSetTest, LockOrderEmptySet) {
+  ReadWriteSet s;
+  EXPECT_TRUE(s.LockOrder().empty());
+}
+
+TEST(RwSetTest, HashDistinguishesTableAndKey) {
+  std::hash<RecordId> h;
+  EXPECT_NE(h(RecordId{0, 1}), h(RecordId{1, 0}));
+}
+
+}  // namespace
+}  // namespace bohm

@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+namespace bohm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, AbortedCarriesMessage) {
+  Status s = Status::Aborted("ww conflict");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.message(), "ww conflict");
+  EXPECT_EQ(s.ToString(), "Aborted: ww conflict");
+}
+
+TEST(StatusTest, EmptyMessageToString) {
+  EXPECT_EQ(Status::NotFound().ToString(), "NotFound");
+}
+
+TEST(StatusTest, AllPredicatesMatchTheirCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::Internal("x").IsAborted());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(CodeName(Code::kOk), "Ok");
+  EXPECT_STREQ(CodeName(Code::kAborted), "Aborted");
+  EXPECT_STREQ(CodeName(Code::kNotFound), "NotFound");
+  EXPECT_STREQ(CodeName(Code::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(CodeName(Code::kFailedPrecondition), "FailedPrecondition");
+  EXPECT_STREQ(CodeName(Code::kResourceExhausted), "ResourceExhausted");
+  EXPECT_STREQ(CodeName(Code::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status Fails() { return Status::Aborted("inner"); }
+Status Propagates() {
+  BOHM_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(Propagates().IsAborted());
+}
+
+}  // namespace
+}  // namespace bohm

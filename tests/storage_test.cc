@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/schema.h"
+#include "storage/sv_table.h"
+
+namespace bohm {
+namespace {
+
+TableSpec Spec(TableId id, uint32_t size, uint64_t cap) {
+  TableSpec s;
+  s.id = id;
+  s.name = "t" + std::to_string(id);
+  s.record_size = size;
+  s.capacity = cap;
+  return s;
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(Spec(0, 8, 10)).ok());
+  EXPECT_TRUE(c.AddTable(Spec(2, 16, 20)).ok());
+  ASSERT_NE(c.Find(0), nullptr);
+  EXPECT_EQ(c.Find(0)->record_size, 8u);
+  EXPECT_EQ(c.Find(1), nullptr);
+  EXPECT_EQ(c.MaxTableId(), 3u);
+}
+
+TEST(CatalogTest, RejectsDuplicateId) {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(Spec(0, 8, 10)).ok());
+  EXPECT_TRUE(c.AddTable(Spec(0, 8, 10)).IsInvalidArgument());
+}
+
+TEST(CatalogTest, RejectsZeroRecordSize) {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable(Spec(0, 0, 10)).IsInvalidArgument());
+}
+
+TEST(SVTableTest, InsertAndLookup) {
+  SVTable t(Spec(0, 8, 100));
+  uint64_t v = 42;
+  EXPECT_TRUE(t.Insert(7, &v).ok());
+  SVSlot* slot = t.Lookup(7);
+  ASSERT_NE(slot, nullptr);
+  uint64_t out;
+  std::memcpy(&out, slot->payload(), 8);
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(SVTableTest, MissingKeyReturnsNull) {
+  SVTable t(Spec(0, 8, 100));
+  EXPECT_EQ(t.Lookup(999), nullptr);
+}
+
+TEST(SVTableTest, NullPayloadZeroFills) {
+  SVTable t(Spec(0, 16, 4));
+  EXPECT_TRUE(t.Insert(1, nullptr).ok());
+  const char* p = static_cast<const char*>(t.Lookup(1)->payload());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(p[i], 0);
+}
+
+TEST(SVTableTest, DuplicateInsertRejected) {
+  SVTable t(Spec(0, 8, 100));
+  uint64_t v = 1;
+  EXPECT_TRUE(t.Insert(5, &v).ok());
+  EXPECT_TRUE(t.Insert(5, &v).IsInvalidArgument());
+}
+
+TEST(SVTableTest, CapacityEnforced) {
+  SVTable t(Spec(0, 8, 2));
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Insert(0, &v).ok());
+  EXPECT_TRUE(t.Insert(1, &v).ok());
+  EXPECT_TRUE(t.Insert(2, &v).IsResourceExhausted());
+}
+
+TEST(SVTableTest, FullCapacityAllRetrievable) {
+  constexpr uint64_t kN = 10000;
+  SVTable t(Spec(0, 8, kN));
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(t.Insert(k * 13 + 1, &k).ok());
+  }
+  EXPECT_EQ(t.size(), kN);
+  for (uint64_t k = 0; k < kN; ++k) {
+    SVSlot* slot = t.Lookup(k * 13 + 1);
+    ASSERT_NE(slot, nullptr);
+    uint64_t out;
+    std::memcpy(&out, slot->payload(), 8);
+    EXPECT_EQ(out, k);
+  }
+}
+
+TEST(SVTableTest, HeaderStartsZero) {
+  SVTable t(Spec(0, 8, 4));
+  uint64_t v = 9;
+  ASSERT_TRUE(t.Insert(3, &v).ok());
+  EXPECT_EQ(t.Lookup(3)->header.load(), 0u);
+}
+
+TEST(SVTableTest, LargeRecords) {
+  SVTable t(Spec(0, 1000, 16));
+  std::vector<char> payload(1000, 0x3C);
+  ASSERT_TRUE(t.Insert(0, payload.data()).ok());
+  const char* p = static_cast<const char*>(t.Lookup(0)->payload());
+  EXPECT_EQ(std::memcmp(p, payload.data(), 1000), 0);
+}
+
+TEST(SVDatabaseTest, TablesByIdWithGaps) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(Spec(0, 8, 4)).ok());
+  ASSERT_TRUE(c.AddTable(Spec(3, 8, 4)).ok());
+  SVDatabase db(c);
+  EXPECT_NE(db.table(0), nullptr);
+  EXPECT_EQ(db.table(1), nullptr);
+  EXPECT_EQ(db.table(2), nullptr);
+  EXPECT_NE(db.table(3), nullptr);
+  EXPECT_EQ(db.table(99), nullptr);
+}
+
+}  // namespace
+}  // namespace bohm

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/affinity.h"
+#include "common/barrier.h"
+#include "common/spin.h"
+
+namespace bohm {
+namespace {
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock lock;
+  int64_t counter = 0;
+  constexpr int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;  // non-atomic: torn without mutual exclusion
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RWSpinLockTest, MultipleReaders) {
+  RWSpinLock lock;
+  lock.LockShared();
+  EXPECT_TRUE(lock.TryLockShared());
+  lock.UnlockShared();
+  lock.UnlockShared();
+}
+
+TEST(RWSpinLockTest, WriterExcludesReaders) {
+  RWSpinLock lock;
+  lock.LockExclusive();
+  EXPECT_FALSE(lock.TryLockShared());
+  EXPECT_FALSE(lock.TryLockExclusive());
+  lock.UnlockExclusive();
+  EXPECT_TRUE(lock.TryLockShared());
+  lock.UnlockShared();
+}
+
+TEST(RWSpinLockTest, ReaderExcludesWriter) {
+  RWSpinLock lock;
+  lock.LockShared();
+  EXPECT_FALSE(lock.TryLockExclusive());
+  lock.UnlockShared();
+  EXPECT_TRUE(lock.TryLockExclusive());
+  lock.UnlockExclusive();
+}
+
+TEST(RWSpinLockTest, WriterWriterExclusionStress) {
+  RWSpinLock lock;
+  int64_t counter = 0;
+  constexpr int kThreads = 4, kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.LockExclusive();
+        ++counter;
+        lock.UnlockExclusive();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST(RWSpinLockTest, ReadersSeeConsistentStateDuringWrites) {
+  RWSpinLock lock;
+  // Writer keeps the pair (a, b) with a == b under the lock; readers must
+  // never observe a != b.
+  int64_t a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= 20000; ++i) {
+      lock.LockExclusive();
+      a = i;
+      b = i;
+      lock.UnlockExclusive();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        lock.LockShared();
+        if (a != b) torn.store(true, std::memory_order_release);
+        lock.UnlockShared();
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(CyclicBarrierTest, ExactlyOneLastArriverPerGeneration) {
+  constexpr int kThreads = 4, kGenerations = 500;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> last_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        if (barrier.ArriveAndWait()) {
+          last_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(last_count.load(), kGenerations);
+}
+
+TEST(CyclicBarrierTest, SynchronizesPhases) {
+  // No thread may enter phase g+1 before all threads finished phase g.
+  constexpr int kThreads = 3, kGenerations = 200;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> in_phase[2] = {{0}, {0}};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        in_phase[g % 2].fetch_add(1, std::memory_order_acq_rel);
+        barrier.ArriveAndWait();
+        // After the barrier, everyone has entered this phase.
+        if (in_phase[g % 2].load(std::memory_order_acquire) < kThreads) {
+          violation.store(true, std::memory_order_release);
+        }
+        barrier.ArriveAndWait();
+        in_phase[g % 2].fetch_sub(1, std::memory_order_acq_rel);
+        barrier.ArriveAndWait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(CyclicBarrierTest, SingleParticipantNeverBlocks) {
+  CyclicBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(barrier.ArriveAndWait());
+}
+
+TEST(AffinityTest, HardwareConcurrencyPositive) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(AffinityTest, ShouldPinPolicy) {
+  EXPECT_TRUE(ShouldPin(1));
+  EXPECT_FALSE(ShouldPin(HardwareConcurrency() + 1));
+}
+
+TEST(AffinityTest, PinSelfSucceedsOnLinux) {
+#if defined(__linux__)
+  EXPECT_TRUE(PinCurrentThreadToCpu(0));
+#endif
+}
+
+TEST(SpinWaitTest, PauseProgresses) {
+  SpinWait wait;
+  for (int i = 0; i < 1000; ++i) wait.Pause();  // must not hang or crash
+  wait.Reset();
+  wait.Pause();
+}
+
+}  // namespace
+}  // namespace bohm

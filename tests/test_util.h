@@ -1,0 +1,186 @@
+// Shared helpers for engine tests: small catalogs, arithmetic procedures
+// with declared footprints, and a timed rendezvous used to force genuine
+// transaction overlap in the anomaly tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "storage/schema.h"
+#include "txn/procedure.h"
+
+namespace bohm {
+namespace testutil {
+
+/// Catalog with one table (id 0) of 8-byte records.
+inline Catalog OneTable(uint64_t capacity, TableId id = 0) {
+  TableSpec spec;
+  spec.id = id;
+  spec.name = "t" + std::to_string(id);
+  spec.record_size = 8;
+  spec.capacity = capacity;
+  Catalog c;
+  (void)c.AddTable(std::move(spec));
+  return c;
+}
+
+inline uint64_t ReadU64(TxnOps& ops, TableId t, Key k, bool* found = nullptr) {
+  const void* p = ops.Read(t, k);
+  if (found != nullptr) *found = (p != nullptr);
+  uint64_t v = 0;
+  if (p != nullptr) std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void WriteU64(TxnOps& ops, TableId t, Key k, uint64_t v) {
+  void* p = ops.Write(t, k);
+  if (p != nullptr) std::memcpy(p, &v, sizeof(v));
+}
+
+/// Moves `amount` from `src` to `dst` (no balance check): the sum of the
+/// two records is invariant — the atomicity observable used by several
+/// tests.
+class TransferProcedure final : public StoredProcedure {
+ public:
+  TransferProcedure(TableId table, Key src, Key dst, uint64_t amount)
+      : table_(table), src_(src), dst_(dst), amount_(amount) {
+    set_.AddRmw(table, src);
+    set_.AddRmw(table, dst);
+  }
+  void Run(TxnOps& ops) override {
+    uint64_t s = ReadU64(ops, table_, src_);
+    uint64_t d = ReadU64(ops, table_, dst_);
+    WriteU64(ops, table_, src_, s - amount_);
+    WriteU64(ops, table_, dst_, d + amount_);
+  }
+
+ private:
+  TableId table_;
+  Key src_, dst_;
+  uint64_t amount_;
+};
+
+/// Reads two records and stores their values (snapshot-consistency probe).
+class ReadPairProcedure final : public StoredProcedure {
+ public:
+  ReadPairProcedure(TableId table, Key a, Key b) : table_(table), a_(a), b_(b) {
+    set_.AddRead(table, a);
+    set_.AddRead(table, b);
+  }
+  void Run(TxnOps& ops) override {
+    va_ = ReadU64(ops, table_, a_);
+    vb_ = ReadU64(ops, table_, b_);
+  }
+  uint64_t sum() const { return va_ + vb_; }
+  uint64_t a() const { return va_; }
+  uint64_t b() const { return vb_; }
+
+ private:
+  TableId table_;
+  Key a_, b_;
+  uint64_t va_ = 0, vb_ = 0;
+};
+
+/// dst := src * factor — the building block of the write-skew tests
+/// (reads one record, blind-writes another).
+class MulWriteProcedure final : public StoredProcedure {
+ public:
+  MulWriteProcedure(TableId table, Key src, Key dst, uint64_t factor)
+      : table_(table), src_(src), dst_(dst), factor_(factor) {}
+  void Init() {
+    set_.AddRead(table_, src_);
+    set_.AddWrite(table_, dst_);
+  }
+  void Run(TxnOps& ops) override {
+    uint64_t s = ReadU64(ops, table_, src_);
+    BeforeWrite();
+    WriteU64(ops, table_, dst_, s * factor_);
+  }
+
+ protected:
+  /// Hook for rendezvous subclasses.
+  virtual void BeforeWrite() {}
+
+  TableId table_;
+  Key src_, dst_;
+  uint64_t factor_;
+};
+
+/// Helper to construct MulWriteProcedure with its footprint declared.
+inline ProcedurePtr MakeMulWrite(TableId table, Key src, Key dst,
+                                 uint64_t factor) {
+  auto p = std::make_unique<MulWriteProcedure>(table, src, dst, factor);
+  p->Init();
+  return p;
+}
+
+/// Increments a record then aborts: the record must be unchanged.
+class AbortingIncrement final : public StoredProcedure {
+ public:
+  AbortingIncrement(TableId table, Key key) : table_(table), key_(key) {
+    set_.AddRmw(table, key);
+  }
+  void Run(TxnOps& ops) override {
+    uint64_t v = ReadU64(ops, table_, key_);
+    WriteU64(ops, table_, key_, v + 1000);
+    ops.Abort();
+  }
+
+ private:
+  TableId table_;
+  Key key_;
+};
+
+/// A timed rendezvous: each arriver waits (yielding) until `expected`
+/// participants arrived or the deadline passes. Retried executions pass
+/// straight through (the count only grows).
+class Rendezvous {
+ public:
+  explicit Rendezvous(int expected) : expected_(expected) {}
+
+  void Arrive() {
+    arrivals_.fetch_add(1, std::memory_order_acq_rel);
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    while (arrivals_.load(std::memory_order_acquire) < expected_ &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  }
+
+  bool Overlapped() const {
+    return arrivals_.load(std::memory_order_acquire) >= expected_;
+  }
+
+ private:
+  const int expected_;
+  std::atomic<int> arrivals_{0};
+};
+
+/// MulWrite that rendezvouses between its read and its write, forcing two
+/// such transactions to overlap (the write-skew window).
+class RendezvousMulWrite final : public StoredProcedure {
+ public:
+  RendezvousMulWrite(TableId table, Key src, Key dst, uint64_t factor,
+                     Rendezvous* rv)
+      : table_(table), src_(src), dst_(dst), factor_(factor), rv_(rv) {
+    set_.AddRead(table, src);
+    set_.AddWrite(table, dst);
+  }
+  void Run(TxnOps& ops) override {
+    uint64_t s = ReadU64(ops, table_, src_);
+    rv_->Arrive();
+    WriteU64(ops, table_, dst_, s * factor_);
+  }
+
+ private:
+  TableId table_;
+  Key src_, dst_;
+  uint64_t factor_;
+  Rendezvous* rv_;
+};
+
+}  // namespace testutil
+}  // namespace bohm

@@ -1,0 +1,117 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace bohm {
+namespace {
+
+// Parameterized over theta: distribution-shape properties that must hold
+// for every contention level the paper sweeps (Figure 7 uses theta 0..1).
+class ZipfThetaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaTest, StaysInRange) {
+  const double theta = GetParam();
+  ZipfGenerator gen(1000, theta);
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(gen.Next(rng), 1000u);
+  }
+}
+
+TEST_P(ZipfThetaTest, Rank0IsModalForSkewed) {
+  const double theta = GetParam();
+  ZipfGenerator gen(1000, theta);
+  Rng rng(7);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.Next(rng)];
+  if (theta >= 0.5) {
+    // Rank 0 must be (one of) the most frequent items.
+    int max_count = 0;
+    for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+    EXPECT_GE(counts[0] * 2, max_count);
+  }
+}
+
+TEST_P(ZipfThetaTest, SkewIncreasesHeadMass) {
+  const double theta = GetParam();
+  ZipfGenerator skewed(1000, theta);
+  ZipfGenerator uniform(1000, 0.0);
+  Rng r1(3), r2(3);
+  const int kDraws = 30000;
+  int head_skewed = 0, head_uniform = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (skewed.Next(r1) < 10) ++head_skewed;
+    if (uniform.Next(r2) < 10) ++head_uniform;
+  }
+  if (theta >= 0.5) {
+    EXPECT_GT(head_skewed, head_uniform * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.7, 0.9, 0.99));
+
+TEST(ZipfTest, UniformThetaIsRoughlyUniform) {
+  ZipfGenerator gen(100, 0.0);
+  Rng rng(11);
+  std::vector<int> counts(100, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.Next(rng)];
+  // Every item within 3x of the expected frequency.
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 100 / 3);
+    EXPECT_LT(c, kDraws / 100 * 3);
+  }
+}
+
+TEST(ZipfTest, ThetaNearOneClamped) {
+  ZipfGenerator gen(100, 1.0);  // must not divide by zero
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(gen.Next(rng), 100u);
+}
+
+TEST(ZipfTest, HighContentionConcentration) {
+  // theta = 0.9 on 1M items: the paper's high-contention setting needs a
+  // heavy head. Top-10 items should draw a large share.
+  ZipfGenerator gen(1'000'000, 0.9);
+  Rng rng(17);
+  int head = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.Next(rng) < 10) ++head;
+  }
+  EXPECT_GT(head, kDraws / 10);  // > 10% of draws on 0.001% of keys
+}
+
+TEST(ScrambledZipfTest, ScattersHotKeys) {
+  ScrambledZipf gen(1000, 0.9);
+  Rng rng(23);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.Next(rng)];
+  // Find the hottest key; it should NOT be key 0 specifically (scrambled),
+  // and everything stays in range.
+  uint64_t hottest = 0;
+  int max_count = 0;
+  for (const auto& [k, c] : counts) {
+    EXPECT_LT(k, 1000u);
+    if (c > max_count) {
+      max_count = c;
+      hottest = k;
+    }
+  }
+  EXPECT_NE(hottest, 0u);  // rank 0 maps elsewhere under the scramble
+  EXPECT_GT(max_count, 20000 / 1000 * 5);
+}
+
+TEST(ScrambledZipfTest, DeterministicGivenSeed) {
+  ScrambledZipf a(1000, 0.5), b(1000, 0.5);
+  Rng r1(9), r2(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(r1), b.Next(r2));
+}
+
+}  // namespace
+}  // namespace bohm
