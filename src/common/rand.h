@@ -39,8 +39,8 @@ class Rng {
   /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
   /// multiply-shift reduction (no modulo on the hot path).
   uint64_t Uniform(uint64_t bound) {
-    return static_cast<uint64_t>(
-        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+    __extension__ typedef unsigned __int128 uint128;
+    return static_cast<uint64_t>((static_cast<uint128>(Next()) * bound) >> 64);
   }
 
   /// Uniform double in [0, 1).

@@ -87,9 +87,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          EngineKind::kSI,
                                          EngineKind::kHekaton),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
-    [](const auto& info) {
-      return std::string(EngineKindName(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string(EngineKindName(std::get<0>(param_info.param))) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
     });
 
 class BohmSeedEquivalence : public ::testing::TestWithParam<uint64_t> {};

@@ -190,8 +190,8 @@ INSTANTIATE_TEST_SUITE_P(AllExecutors, ExecutorStress,
                          ::testing::Values(EngineKind::k2PL, EngineKind::kOCC,
                                            EngineKind::kSI,
                                            EngineKind::kHekaton),
-                         [](const auto& info) {
-                           return std::string(EngineKindName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(EngineKindName(param_info.param));
                          });
 
 TEST(StressTest, BohmSmallBankFullMixHighContention) {
