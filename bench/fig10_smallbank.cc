@@ -15,7 +15,8 @@ using namespace bohm::bench;
 
 namespace {
 
-void RunContention(uint64_t customers, const char* label) {
+void RunContention(uint64_t customers, const char* label, const char* tag,
+                   JsonReport& json) {
   SmallBankConfig cfg;
   cfg.customers = customers;
   cfg.spin_us = BenchSpinUs();
@@ -37,6 +38,10 @@ void RunContention(uint64_t customers, const char* label) {
               : SmallBankExecutorPoint(s.kind, cfg,
                                        static_cast<uint32_t>(threads), opt);
       row.push_back(Report::FormatTput(r.Throughput()));
+      json.AddPoint({{"contention", tag},
+                     {"customers", std::to_string(customers)},
+                     {"threads", std::to_string(threads)}},
+                    s.label, r);
     }
     report.AddRow(std::move(row));
   }
@@ -46,12 +51,14 @@ void RunContention(uint64_t customers, const char* label) {
 }  // namespace
 
 int main() {
+  JsonReport json("fig10_smallbank");
   RunContention(
       static_cast<uint64_t>(EnvInt64("BOHM_BENCH_HIGH_CUSTOMERS", 50)),
-      "top: high contention");
+      "top: high contention", "high", json);
   RunContention(
       static_cast<uint64_t>(EnvInt64("BOHM_BENCH_LOW_CUSTOMERS", 100'000)),
-      "bottom: low contention");
+      "bottom: low contention", "low", json);
+  json.Write();
   std::printf(
       "\nPaper shape: high contention — 2PL best, Bohm second and close; "
       "Hekaton/SI drop (aborts + counter). Low contention — 2PL/OCC/Bohm "

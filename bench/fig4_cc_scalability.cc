@@ -26,6 +26,7 @@ int main() {
   ycfg.record_size = 8;
   ycfg.theta = 0.0;
 
+  JsonReport json("fig4_cc_scalability");
   std::vector<std::string> cols = {"exec_threads"};
   for (int cc : cc_threads) {
     cols.push_back("cc=" + std::to_string(cc) + " (txns/s)");
@@ -50,10 +51,14 @@ int main() {
           },
           opt, &bcfg);
       row.push_back(Report::FormatTput(r.Throughput()));
+      json.AddPoint({{"cc_threads", std::to_string(cc)},
+                     {"exec_threads", std::to_string(et)}},
+                    "Bohm", r);
     }
     report.AddRow(std::move(row));
   }
   report.Print();
+  json.Write();
   std::printf(
       "\nPaper shape: each series rises with execution threads, then "
       "plateaus at the CC layer's capacity; the plateau grows with CC "

@@ -13,7 +13,8 @@ using namespace bohm::bench;
 
 namespace {
 
-void RunContention(double theta, const char* label) {
+void RunContention(double theta, const char* label, const char* tag,
+                   JsonReport& json) {
   YcsbConfig cfg;
   cfg.record_count = BenchRecords(100'000);
   cfg.record_size = 1000;
@@ -42,6 +43,10 @@ void RunContention(double theta, const char* label) {
                                   static_cast<uint32_t>(threads), fn, opt);
       row.push_back(Report::FormatTput(r.Throughput()));
       row.push_back(Report::FormatDouble(100.0 * r.AbortRate(), 1));
+      json.AddPoint({{"contention", tag},
+                     {"theta", Report::FormatDouble(theta, 2)},
+                     {"threads", std::to_string(threads)}},
+                    s.label, r);
     }
     report.AddRow(std::move(row));
   }
@@ -51,8 +56,10 @@ void RunContention(double theta, const char* label) {
 }  // namespace
 
 int main() {
-  RunContention(0.9, "top: high contention");
-  RunContention(0.0, "bottom: low contention");
+  JsonReport json("fig6_ycsb_2rmw8r");
+  RunContention(0.9, "top: high contention", "high", json);
+  RunContention(0.0, "bottom: low contention", "low", json);
+  json.Write();
   std::printf(
       "\nPaper shape: high contention — multi-version systems beat "
       "single-version; Bohm > SI (no ww-abort waste) > Hekaton. Low "

@@ -20,8 +20,11 @@ int main() {
     return gen.Make(YcsbGenerator::TxnType::k2Rmw8R);
   };
 
+  JsonReport json("fig7_theta_sweep");
   std::vector<std::string> cols = {"theta"};
   for (const System& s : AllSystems()) cols.push_back(s.label + " (txns/s)");
+  cols.push_back("Bohm p50(us)");
+  cols.push_back("Bohm p99(us)");
   Report report("Figure 7: YCSB 2RMW-8R vs. contention (theta), " +
                     std::to_string(threads) + " threads",
                 cols);
@@ -32,6 +35,7 @@ int main() {
     cfg.record_size = 1000;
     cfg.theta = theta;
     std::vector<std::string> row = {Report::FormatDouble(theta, 2)};
+    uint64_t bohm_p50 = 0, bohm_p99 = 0;
     for (const System& s : AllSystems()) {
       BenchResult r =
           s.is_bohm
@@ -39,10 +43,20 @@ int main() {
               : YcsbExecutorPoint(s.kind, cfg,
                                   static_cast<uint32_t>(threads), fn, opt);
       row.push_back(Report::FormatTput(r.Throughput()));
+      if (s.is_bohm) {
+        bohm_p50 = r.P50Us();
+        bohm_p99 = r.P99Us();
+      }
+      json.AddPoint({{"theta", Report::FormatDouble(theta, 2)},
+                     {"threads", std::to_string(threads)}},
+                    s.label, r);
     }
+    row.push_back(std::to_string(bohm_p50));
+    row.push_back(std::to_string(bohm_p99));
     report.AddRow(std::move(row));
   }
   report.Print();
+  json.Write();
   std::printf(
       "\nPaper shape: Hekaton and SI nearly identical until high theta "
       "(timestamp-counter bound), then drop as aborts dominate; Bohm "

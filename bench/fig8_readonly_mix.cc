@@ -23,6 +23,7 @@ int main() {
 
   std::vector<double> fractions = {0.0, 0.01, 0.05, 0.2, 0.5, 1.0};
 
+  JsonReport json("fig8_readonly_mix");
   std::vector<std::string> cols = {"readonly%"};
   for (const System& s : AllSystems()) cols.push_back(s.label + " (txns/s)");
   Report report(
@@ -41,10 +42,14 @@ int main() {
               : YcsbExecutorPoint(s.kind, cfg,
                                   static_cast<uint32_t>(threads), fn, opt);
       row.push_back(Report::FormatTput(r.Throughput()));
+      json.AddPoint({{"readonly_pct", Report::FormatDouble(100 * frac, 0)},
+                     {"threads", std::to_string(threads)}},
+                    s.label, r);
     }
     report.AddRow(std::move(row));
   }
   report.Print();
+  json.Write();
   std::printf(
       "\nPaper shape: multi-version systems (Bohm, SI, Hekaton) dominate "
       "single-version (OCC, 2PL) when a small fraction of transactions is "

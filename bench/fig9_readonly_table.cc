@@ -25,6 +25,8 @@ int main() {
       YcsbBohmPoint(cfg, static_cast<uint32_t>(threads), fn, opt);
   const double bohm_tput = bohm_r.Throughput();
 
+  JsonReport json("fig9_readonly_table");
+  json.AddPoint({{"threads", std::to_string(threads)}}, "Bohm", bohm_r);
   Report report(
       "Figure 9: YCSB throughput with 1% long read-only transactions, " +
           std::to_string(threads) + " threads",
@@ -37,8 +39,10 @@ int main() {
     double pct = bohm_tput > 0 ? 100.0 * r.Throughput() / bohm_tput : 0;
     report.AddRow({s.label, Report::FormatTput(r.Throughput()),
                    Report::FormatDouble(pct, 2) + "%"});
+    json.AddPoint({{"threads", std::to_string(threads)}}, s.label, r);
   }
   report.Print();
+  json.Write();
   std::printf(
       "\nPaper row order (40 threads): Bohm 100%%, SI 64.3%%, Hekaton "
       "60.6%%, 2PL 15.6%%, OCC 8.9%% — multi-version systems ~an order of "

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Smoke-check a benchmark binary's JSON output: run it with tiny
+# parameters (the caller sets the BOHM_BENCH_* knobs; CTest does), then
+# assert that every Bohm point carries a real latency distribution —
+# lat_count > 0 and 0 < p50 <= p99 <= p999. Guards the end-to-end
+# latency path (Submit stamp -> exec-stage record -> fold -> JSON)
+# against silently reporting zeros.
+#
+# Usage: bench_smoke.sh <bench-binary> <json-output-path>
+set -euo pipefail
+
+bin=${1:?usage: bench_smoke.sh <bench-binary> <json-output-path>}
+out=${2:?usage: bench_smoke.sh <bench-binary> <json-output-path>}
+
+rm -f "$out"
+BOHM_BENCH_JSON="$out" "$bin"
+
+if [[ ! -s "$out" ]]; then
+  echo "FAIL: $bin did not write $out" >&2
+  exit 1
+fi
+
+# One point per line with a fixed key order (see src/harness/report.cc),
+# so awk can assert without a JSON parser.
+awk '
+  /"system": "Bohm"/ {
+    bohm++
+    lat_count = p50 = p99 = p999 = -1
+    for (i = 1; i <= NF; ++i) {
+      gsub(/[",:{}]/, "", $i)
+      if ($i == "lat_count") lat_count = $(i + 1) + 0
+      if ($i == "p50_us") p50 = $(i + 1) + 0
+      if ($i == "p99_us") p99 = $(i + 1) + 0
+      if ($i == "p999_us") p999 = $(i + 1) + 0
+    }
+    if (lat_count <= 0) { print "FAIL: Bohm point with lat_count<=0: " $0; bad++ }
+    else if (p50 <= 0) { print "FAIL: Bohm point with p50_us<=0: " $0; bad++ }
+    else if (p50 > p99 || p99 > p999) {
+      print "FAIL: non-monotone percentiles (p50 " p50 ", p99 " p99 ", p999 " p999 "): " $0
+      bad++
+    }
+  }
+  END {
+    if (bohm == 0) { print "FAIL: no Bohm points in output"; exit 1 }
+    if (bad > 0) exit 1
+    print "OK: " bohm " Bohm points, all with non-zero monotone latency"
+  }
+' "$out"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Capture the committed bench trajectory: run the snapshot benchmarks
+# with their default parameters (any BOHM_BENCH_* knobs already in the
+# environment are honored) and write one BENCH_<figure>.json per binary
+# at the repo root. Re-run after perf-relevant changes and commit the
+# diff — the JSON embeds throughput and the full latency percentiles per
+# point, so the git history of these files is the perf trajectory.
+#
+# Usage: bench_snapshot.sh [build-dir]   (default: <repo>/build)
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-$root/build}
+
+benches=(fig5_ycsb_10rmw fig7_theta_sweep)
+
+for b in "${benches[@]}"; do
+  bin="$build/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "FAIL: $bin not built (run: cmake --build $build -j)" >&2
+    exit 1
+  fi
+done
+
+for b in "${benches[@]}"; do
+  out="$root/BENCH_$b.json"
+  echo "== $b -> $out"
+  BOHM_BENCH_JSON="$out" "$build/$b"
+done
+
+echo "Snapshots written. Review and commit the BENCH_*.json diffs."

@@ -112,7 +112,7 @@ Status BohmEngine::Submit(ProcedurePtr proc) {
   }
   if (proc == nullptr) return Status::InvalidArgument("null procedure");
   submitted_.fetch_add(1, std::memory_order_acq_rel);
-  input_.Push(InputItem{proc.release(), /*owned=*/true});
+  input_.Push(InputItem{proc.release(), /*owned=*/true, MonotonicNanos()});
   return Status::OK();
 }
 
@@ -123,7 +123,7 @@ Status BohmEngine::SubmitBorrowed(StoredProcedure* proc) {
   }
   if (proc == nullptr) return Status::InvalidArgument("null procedure");
   submitted_.fetch_add(1, std::memory_order_acq_rel);
-  input_.Push(InputItem{proc, /*owned=*/false});
+  input_.Push(InputItem{proc, /*owned=*/false, MonotonicNanos()});
   return Status::OK();
 }
 
@@ -133,10 +133,7 @@ Status BohmEngine::RunSync(ProcedurePtr proc) {
   return Status::OK();
 }
 
-uint64_t BohmEngine::CompletedCount() const {
-  StatsSnapshot s = stats_.Fold();
-  return s.commits + s.logic_aborts;
-}
+uint64_t BohmEngine::CompletedCount() const { return stats_.FoldCompleted(); }
 
 void BohmEngine::WaitForIdle() {
   SpinWait wait;

@@ -166,6 +166,8 @@ class BohmEngine {
   struct InputItem {
     StoredProcedure* proc = nullptr;
     bool owned = false;
+    /// MonotonicNanos() at Submit(); becomes BohmTxn::submit_tick.
+    uint64_t submit_tick = 0;
   };
 
   Catalog catalog_;

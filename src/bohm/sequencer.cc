@@ -46,6 +46,7 @@ void BohmEngine::SequencerLoop() {
         txn->proc = raw;
         txn->ts = next_ts_++;
         txn->batch_id = id;
+        txn->submit_tick = item.submit_tick;
         txn->n_reads = static_cast<uint32_t>(set.reads().size());
         txn->n_writes = static_cast<uint32_t>(set.writes().size());
         if (txn->n_reads > 0) {

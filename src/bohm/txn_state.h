@@ -47,6 +47,11 @@ class BohmTxn {
   StoredProcedure* proc = nullptr;
   uint64_t ts = 0;
   int64_t batch_id = 0;
+  /// MonotonicNanos() at Submit() — the client-side start of the
+  /// end-to-end latency measurement. Carried through the sequencer so the
+  /// execution stage can record submit→commit-ack latency at commit
+  /// publication.
+  uint64_t submit_tick = 0;
   /// Bit i set when CC thread i has work in this transaction (computed by
   /// the sequencer when interest pre-processing is enabled — the
   /// Section 3.2.2 scalability mechanism; all-ones otherwise).

@@ -37,4 +37,9 @@ std::vector<int> EnvIntList(const char* name, std::vector<int> def) {
   return out.empty() ? def : out;
 }
 
+std::string EnvStr(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? def : std::string(v);
+}
+
 }  // namespace bohm

@@ -20,4 +20,7 @@ double EnvDouble(const char* name, double def);
 /// unset or unparsable.
 std::vector<int> EnvIntList(const char* name, std::vector<int> def);
 
+/// Returns the value of `name`, or `def` when unset/empty.
+std::string EnvStr(const char* name, const std::string& def);
+
 }  // namespace bohm

@@ -1,15 +1,24 @@
 // Log-bucketed latency histogram (HdrHistogram-style, power-of-two
 // buckets with linear sub-buckets). Fixed memory, constant-time record,
 // approximate percentiles with bounded relative error — the standard
-// instrument for OLTP latency profiles. Not thread-safe: each worker owns
-// one and they are merged after the run.
+// instrument for OLTP latency profiles.
+//
+// Two variants share the bucket geometry:
+//  * Histogram — not thread-safe; each worker owns one and they are
+//    merged after the run (the executor drivers' on-thread latency).
+//  * AtomicHistogram — single-writer, concurrently foldable; lives in the
+//    per-thread StatsRegistry slices so the Bohm execution threads can
+//    record submit→commit latency while monitors snapshot mid-run.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace bohm {
+
+class AtomicHistogram;
 
 class Histogram {
  public:
@@ -66,7 +75,29 @@ class Histogram {
     max_ = 0;
   }
 
+  /// Bucket-wise difference `later - earlier`, for windowed measurements
+  /// over monotonically growing histograms: `earlier` must be a snapshot
+  /// of the same histogram taken before `later` (every bucket count and
+  /// the total are then <= their `later` counterparts; values that do not
+  /// satisfy this are clamped to zero rather than underflowing). The max
+  /// is `later`'s — the per-bucket counts cannot recover a windowed max,
+  /// so it is an upper bound for the window.
+  static Histogram Delta(const Histogram& later, const Histogram& earlier) {
+    Histogram out;
+    out.count_ = Sub(later.count_, earlier.count_);
+    out.total_ = Sub(later.total_, earlier.total_);
+    out.max_ = out.count_ == 0 ? 0 : later.max_;
+    for (std::size_t i = 0; i < out.buckets_.size(); ++i) {
+      out.buckets_[i] = Sub(later.buckets_[i], earlier.buckets_[i]);
+    }
+    return out;
+  }
+
  private:
+  friend class AtomicHistogram;
+
+  static uint64_t Sub(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
+
   static std::size_t BucketOf(uint64_t value) {
     if (value < kSubBuckets) return static_cast<std::size_t>(value);
     // Range r covers [kSubBuckets << (r-1), kSubBuckets << r).
@@ -92,6 +123,57 @@ class Histogram {
   uint64_t count_ = 0;
   uint64_t total_ = 0;
   uint64_t max_ = 0;
+};
+
+/// Histogram with the same bucket geometry whose cells are single-writer
+/// relaxed atomics (the RelaxedCounter pattern: plain load+store, no
+/// lock-prefixed RMW on the hot path). Exactly one thread may Record();
+/// any number of monitors may MergeInto() concurrently. A concurrent fold
+/// may observe a sample's bucket before its count (Record publishes the
+/// count last, folds read it first), never the reverse, so percentile
+/// targets derived from the folded count always have backing buckets. At
+/// a quiescent point (e.g. after WaitForIdle) a fold is exact.
+class AtomicHistogram {
+ public:
+  void Record(uint64_t value) {
+    std::atomic<uint64_t>& b = buckets_[Histogram::BucketOf(value)];
+    b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    total_.store(total_.load(std::memory_order_relaxed) + value,
+                 std::memory_order_relaxed);
+    if (value > max_.load(std::memory_order_relaxed)) {
+      max_.store(value, std::memory_order_relaxed);
+    }
+    count_.store(count_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_acquire); }
+
+  /// Merges a snapshot of this histogram into `out`.
+  void MergeInto(Histogram* out) const {
+    out->count_ += count_.load(std::memory_order_acquire);
+    out->total_ += total_.load(std::memory_order_relaxed);
+    uint64_t m = max_.load(std::memory_order_relaxed);
+    if (m > out->max_) out->max_ = m;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      out->buckets_[i] += buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Writer-side (or quiescent) reset only, like RelaxedCounter::Reset.
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kSubBuckets * Histogram::kRanges>
+      buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> max_{0};
 };
 
 }  // namespace bohm

@@ -22,6 +22,15 @@ StatsSnapshot StatsRegistry::Fold() const {
     out.retries += s.retries.Get();
     out.reads += s.reads.Get();
     out.writes += s.writes.Get();
+    s.latency_us.MergeInto(&out.latency_us);
+  }
+  return out;
+}
+
+uint64_t StatsRegistry::FoldCompleted() const {
+  uint64_t out = 0;
+  for (uint32_t i = 0; i < threads_; ++i) {
+    out += slices_[i].commits.Get() + slices_[i].logic_aborts.Get();
   }
   return out;
 }
@@ -35,6 +44,7 @@ void StatsRegistry::Reset() {
     s.retries.Reset();
     s.reads.Reset();
     s.writes.Reset();
+    s.latency_us.Reset();
   }
 }
 

@@ -10,13 +10,25 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "common/histogram.h"
 #include "common/macros.h"
 
 namespace bohm {
+
+/// Monotonic clock reading in nanoseconds. The submit→commit latency
+/// stamps use this single definition so both ends of the measurement are
+/// taken on the same clock.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Single-writer counter. The release/acquire pair gives monitors that
 /// observe a count a happens-before edge to everything the counting
@@ -43,9 +55,15 @@ struct alignas(kCacheLineSize) ThreadStats {
   RelaxedCounter retries;       // re-executions after a cc abort
   RelaxedCounter reads;
   RelaxedCounter writes;
+  /// Submit→commit-ack latency in microseconds, one sample per commit.
+  /// Recorded by engines whose commit point is off the submitting thread
+  /// (Bohm's execution stage); executor engines leave it empty and the
+  /// driver measures on-thread latency instead.
+  AtomicHistogram latency_us;
 };
 
-/// Aggregated view (plain values; safe to copy around).
+/// Aggregated view (plain values; safe to copy around — note the latency
+/// histogram makes this a few KB, so avoid copying in tight loops).
 struct StatsSnapshot {
   uint64_t commits = 0;
   uint64_t cc_aborts = 0;
@@ -53,6 +71,12 @@ struct StatsSnapshot {
   uint64_t retries = 0;
   uint64_t reads = 0;
   uint64_t writes = 0;
+  /// Merged per-thread commit-latency histograms. Grows monotonically
+  /// with the counters, so a measurement window is Histogram::Delta of
+  /// two snapshots; at quiescent snapshot points latency_us.count() ==
+  /// commits exactly (one sample is recorded per commit, before the
+  /// commit counter increment).
+  Histogram latency_us;
 
   double AbortRate() const {
     uint64_t attempts = commits + cc_aborts;
@@ -74,6 +98,9 @@ class StatsRegistry {
   uint32_t threads() const { return threads_; }
 
   StatsSnapshot Fold() const;
+  /// Sum of commits + logic_aborts only. Cheap enough for poll loops
+  /// (WaitForIdle); Fold() additionally snapshots the latency histograms.
+  uint64_t FoldCompleted() const;
   void Reset();
 
  private:

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/spin.h"
+
 namespace bohm {
 
 namespace {
@@ -22,6 +24,11 @@ BenchResult Window(const StatsSnapshot& before, const StatsSnapshot& after,
   r.commits = after.commits - before.commits;
   r.cc_aborts = after.cc_aborts - before.cc_aborts;
   r.logic_aborts = after.logic_aborts - before.logic_aborts;
+  // Engine-side latency histograms grow monotonically, so the window is
+  // the bucket-wise difference of the two snapshots. Empty for executor
+  // engines (they record nothing engine-side); RunExecutorBench merges
+  // its driver-side per-thread histograms on top.
+  r.latency_us = Histogram::Delta(after.latency_us, before.latency_us);
   return r;
 }
 
@@ -57,13 +64,19 @@ BenchResult RunExecutorBench(ExecutorEngine& engine,
   }
 
   std::this_thread::sleep_for(std::chrono::milliseconds(opt.warmup_ms));
-  measuring.store(true, std::memory_order_release);
+  // Snapshot the counters before opening the latency gate (and close it
+  // before the closing snapshot): every recorded transaction then commits
+  // inside the counter window except for at most one in-flight
+  // transaction per worker at each edge, so the histogram count tracks
+  // the window's commits to within `threads` samples — warmup-window
+  // commits never appear in the histogram.
   StatsSnapshot before = engine.Stats();
   auto t0 = Clock::now();
+  measuring.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(opt.measure_ms));
+  measuring.store(false, std::memory_order_release);
   StatsSnapshot after = engine.Stats();
   auto t1 = Clock::now();
-  measuring.store(false, std::memory_order_release);
 
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
@@ -76,27 +89,62 @@ BenchResult RunBohmBench(BohmEngine& engine, const TxnSourceMaker& maker,
                          uint32_t client_threads, const DriverOptions& opt) {
   if (client_threads == 0) client_threads = 1;
   std::atomic<bool> stop{false};
+  std::atomic<bool> pause{false};
+  std::atomic<uint32_t> parked{0};
+  std::atomic<uint32_t> alive{client_threads};
   std::vector<std::thread> clients;
   clients.reserve(client_threads);
   for (uint32_t t = 0; t < client_threads; ++t) {
     clients.emplace_back([&, t] {
       TxnSource source = maker(t);
       while (!stop.load(std::memory_order_acquire)) {
+        if (pause.load(std::memory_order_acquire)) {
+          parked.fetch_add(1, std::memory_order_acq_rel);
+          SpinWait wait;
+          while (pause.load(std::memory_order_acquire) &&
+                 !stop.load(std::memory_order_acquire)) {
+            wait.Pause();
+          }
+          parked.fetch_sub(1, std::memory_order_acq_rel);
+          continue;
+        }
         // Submit blocks (yielding) when the pipeline is full, providing
         // natural back-pressure.
         if (!engine.Submit(source()).ok()) break;
       }
+      alive.fetch_sub(1, std::memory_order_acq_rel);
     });
   }
 
+  // Both window edges are quiescent points: park every client, drain the
+  // pipeline, then snapshot. This fixes the pipelined window skew — a
+  // transaction submitted during warmup can no longer have its commit
+  // land inside the window (and a window submission cannot leak past the
+  // closing edge), so the window's commit count, latency-histogram count
+  // and wall-clock window all cover exactly the same transactions, at
+  // the cost of re-filling the pipeline at the opening edge (microseconds
+  // against a >=100ms window).
+  auto quiesced_snapshot = [&]() -> StatsSnapshot {
+    pause.store(true, std::memory_order_release);
+    SpinWait wait;
+    while (parked.load(std::memory_order_acquire) <
+           alive.load(std::memory_order_acquire)) {
+      wait.Pause();
+    }
+    engine.WaitForIdle();
+    return engine.Stats();
+  };
+
   std::this_thread::sleep_for(std::chrono::milliseconds(opt.warmup_ms));
-  StatsSnapshot before = engine.Stats();
+  StatsSnapshot before = quiesced_snapshot();
   auto t0 = Clock::now();
+  pause.store(false, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(opt.measure_ms));
-  StatsSnapshot after = engine.Stats();
+  StatsSnapshot after = quiesced_snapshot();
   auto t1 = Clock::now();
 
   stop.store(true, std::memory_order_release);
+  pause.store(false, std::memory_order_release);
   for (auto& c : clients) c.join();
   engine.WaitForIdle();
   return Window(before, after, Seconds(t0, t1));

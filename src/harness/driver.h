@@ -37,8 +37,12 @@ struct BenchResult {
   uint64_t commits = 0;
   uint64_t cc_aborts = 0;
   uint64_t logic_aborts = 0;
-  /// Per-transaction latency in microseconds over the measurement window
-  /// (executor engines only; Bohm's pipelined path reports throughput).
+  /// Per-transaction latency in microseconds over the measurement window.
+  /// Executor engines: on-thread Execute() latency measured by the
+  /// driver. Bohm: end-to-end submit→commit-ack latency stamped at
+  /// Submit() and recorded at commit publication in the execution stage,
+  /// windowed between two quiesced snapshots so its count equals
+  /// `commits` exactly.
   Histogram latency_us;
 
   double Throughput() const {
@@ -50,6 +54,9 @@ struct BenchResult {
                          : static_cast<double>(cc_aborts) /
                                static_cast<double>(attempts);
   }
+  uint64_t P50Us() const { return latency_us.Percentile(0.50); }
+  uint64_t P99Us() const { return latency_us.Percentile(0.99); }
+  uint64_t P999Us() const { return latency_us.Percentile(0.999); }
 };
 
 /// Closed-loop driver: engine.worker_threads() threads each repeatedly
@@ -61,7 +68,12 @@ BenchResult RunExecutorBench(ExecutorEngine& engine,
 /// Pipelined driver for Bohm: `client_threads` feeder threads submit
 /// transactions (the input queue provides back-pressure) while the
 /// engine's sequencer/CC/execution threads process them. The engine must
-/// already be started.
+/// already be started. Both window edges are quiesced (clients parked,
+/// pipeline drained) so the commit count, the latency histogram and the
+/// wall-clock window describe exactly the same set of transactions —
+/// the throughput window includes the closing drain and the opening
+/// pipeline re-fill, which is noise of microseconds against the >=100ms
+/// windows the benches use.
 BenchResult RunBohmBench(BohmEngine& engine, const TxnSourceMaker& maker,
                          uint32_t client_threads, const DriverOptions& opt);
 

@@ -1,5 +1,6 @@
 #include "harness/report.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <sstream>
 
@@ -74,6 +75,85 @@ void Report::Print() const {
     std::printf("\n");
   }
   std::fflush(stdout);
+}
+
+namespace {
+
+/// Minimal JSON string escaping for the label/parameter strings the
+/// benches emit (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string figure)
+    : figure_(std::move(figure)), path_(EnvStr("BOHM_BENCH_JSON", "")) {}
+
+void JsonReport::AddPoint(Params params, const std::string& system,
+                          const BenchResult& r) {
+  if (!enabled()) return;
+  points_.push_back(Point{std::move(params), system, r});
+}
+
+void JsonReport::Write() const {
+  if (!enabled()) return;
+  FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot open %s for writing\n",
+                 path_.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"points\": [\n",
+               JsonEscape(figure_).c_str());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    const BenchResult& r = p.result;
+    // One point per line, keys in a fixed order, so line-oriented tools
+    // (the bench_smoke checker) can assert on fields without a parser.
+    std::fprintf(f, "    {\"system\": \"%s\"", JsonEscape(p.system).c_str());
+    for (const auto& [k, v] : p.params) {
+      std::fprintf(f, ", \"%s\": \"%s\"", JsonEscape(k).c_str(),
+                   JsonEscape(v).c_str());
+    }
+    std::fprintf(
+        f,
+        ", \"seconds\": %.6f, \"commits\": %" PRIu64
+        ", \"cc_aborts\": %" PRIu64 ", \"logic_aborts\": %" PRIu64
+        ", \"tput_txns_per_sec\": %.1f, \"abort_rate\": %.6f"
+        ", \"lat_count\": %" PRIu64 ", \"lat_mean_us\": %.3f"
+        ", \"p50_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
+        ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64 "}%s\n",
+        r.seconds, r.commits, r.cc_aborts, r.logic_aborts, r.Throughput(),
+        r.AbortRate(), r.latency_us.count(), r.latency_us.Mean(), r.P50Us(),
+        r.P99Us(), r.P999Us(), r.latency_us.max(),
+        i + 1 < points_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("JSON written to %s (%zu points)\n", path_.c_str(),
+              points_.size());
 }
 
 }  // namespace bohm

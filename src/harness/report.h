@@ -1,10 +1,14 @@
-// Row-oriented result reporting for the figure/table benchmarks: aligned
+// Result reporting for the figure/table benchmarks: aligned
 // human-readable rows on stdout (the "same rows/series the paper reports")
-// plus optional CSV via BOHM_BENCH_CSV=1 for plotting.
+// plus optional CSV via BOHM_BENCH_CSV=1 for plotting, plus a full
+// machine-readable JSON dump (throughput AND latency percentiles per
+// measurement point) via BOHM_BENCH_JSON=<path> — the format behind the
+// committed BENCH_*.json perf-trajectory snapshots at the repo root.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/driver.h"
@@ -29,6 +33,42 @@ class Report {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
   bool csv_;
+};
+
+/// Machine-readable benchmark output. When the BOHM_BENCH_JSON
+/// environment variable names a file, Write() emits every measurement
+/// point a figure binary produced — parameters, throughput, abort
+/// counts, and the full latency profile (count/mean/p50/p99/p999/max in
+/// microseconds) — as one JSON object per line, so shell tools can
+/// assert on points without a JSON parser. No-op when the variable is
+/// unset, so the human-readable tables stay the default.
+class JsonReport {
+ public:
+  /// One (name, value) pair per swept parameter, e.g. {"threads", "4"}.
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonReport(std::string figure);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement point. Cheap no-op when disabled.
+  void AddPoint(Params params, const std::string& system,
+                const BenchResult& r);
+
+  /// Writes the accumulated points to $BOHM_BENCH_JSON (no-op when
+  /// disabled). Call once at the end of main().
+  void Write() const;
+
+ private:
+  struct Point {
+    Params params;
+    std::string system;
+    BenchResult result;
+  };
+
+  std::string figure_;
+  std::string path_;
+  std::vector<Point> points_;
 };
 
 }  // namespace bohm

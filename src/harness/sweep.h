@@ -10,6 +10,8 @@
 //   BOHM_BENCH_SCAN_SIZE=10000            read-only transaction size
 //   BOHM_BENCH_SPIN_US=50                 SmallBank per-txn spin
 //   BOHM_BENCH_CSV=1                      machine-readable output
+//   BOHM_BENCH_JSON=out.json              full JSON dump incl. latency
+//                                         (see scripts/bench_snapshot.sh)
 #pragma once
 
 #include <cstdint>

@@ -95,6 +95,89 @@ TEST(DriverTest, BohmTimedWindow) {
   engine.Stop();
 }
 
+TEST(DriverTest, ExecutorWarmupExcludedFromWindow) {
+  // The latency gate opens after the `before` counter snapshot and closes
+  // before the `after` one, so warmup commits never enter the histogram
+  // and the histogram count tracks window commits to within one
+  // in-flight transaction per worker at each edge.
+  const uint32_t threads = 2;
+  auto engine = MakeExecutorEngine(EngineKind::k2PL, OneTable(64), threads);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine->Load(0, k, &zero).ok());
+  DriverOptions opt;
+  opt.warmup_ms = 30;
+  opt.measure_ms = 60;
+  BenchResult r = RunExecutorBench(
+      *engine,
+      [&](uint32_t tid) {
+        auto rng = std::make_shared<Rng>(tid);
+        return [rng]() -> ProcedurePtr {
+          return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+        };
+      },
+      opt);
+  ASSERT_GT(r.commits, 0u);
+  uint64_t hist = r.latency_us.count();
+  uint64_t lo = r.commits > threads ? r.commits - threads : 0;
+  EXPECT_GE(hist, lo);
+  EXPECT_LE(hist, r.commits + threads);
+  // Warmup ran for a comparable duration, so the engine's lifetime commit
+  // total strictly exceeds the window's.
+  EXPECT_GT(engine->Stats().commits, r.commits);
+}
+
+TEST(DriverTest, BohmWarmupExcludedFromWindow) {
+  // Both window edges are quiesced, so the histogram delta covers exactly
+  // the window's commits — no warmup leakage in either direction.
+  BohmConfig cfg;
+  cfg.batch_size = 32;
+  BohmEngine engine(OneTable(64), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  DriverOptions opt;
+  opt.warmup_ms = 30;
+  opt.measure_ms = 60;
+  BenchResult r = RunBohmBench(
+      engine,
+      [&](uint32_t tid) {
+        auto rng = std::make_shared<Rng>(tid);
+        return [rng]() -> ProcedurePtr {
+          return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+        };
+      },
+      2, opt);
+  ASSERT_GT(r.commits, 0u);
+  EXPECT_EQ(r.latency_us.count(), r.commits);
+  EXPECT_GT(engine.Stats().commits, r.commits);
+  engine.Stop();
+}
+
+TEST(DriverTest, BohmRepeatedCountWindowsExact) {
+  // Back-to-back fixed-count runs on one engine: each window's commit and
+  // histogram counts are exact despite the monotonically growing
+  // engine-side counters.
+  BohmConfig cfg;
+  cfg.batch_size = 16;
+  BohmEngine engine(OneTable(64), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  auto maker = [&](uint32_t tid) {
+    auto rng = std::make_shared<Rng>(tid);
+    return [rng]() -> ProcedurePtr {
+      return std::make_unique<IncrementProcedure>(0, rng->Uniform(64));
+    };
+  };
+  for (int round = 0; round < 3; ++round) {
+    BenchResult r = RunBohmCount(engine, maker, 200);
+    EXPECT_EQ(r.commits, 200u) << "round " << round;
+    EXPECT_EQ(r.latency_us.count(), 200u) << "round " << round;
+  }
+  EXPECT_EQ(engine.Stats().commits, 600u);
+  engine.Stop();
+}
+
 TEST(SweepTest, BohmSplitCoversCases) {
   BohmConfig c1 = BohmSplit(1);
   EXPECT_EQ(c1.cc_threads, 1u);
