@@ -99,7 +99,12 @@ void BM_BohmIndexLookup(benchmark::State& state) {
   spec.record_size = 8;
   spec.capacity = 100'000;
   BohmTable table(spec, 1);
-  for (Key k = 0; k < 100'000; ++k) (void)table.GetOrInsert(0, k);
+  VersionAllocator alloc;
+  for (Key k = 0; k < 100'000; ++k) {
+    bool inserted = false;
+    (void)table.GetOrInsert(0, k, alloc.Alloc(0, spec.record_size),
+                            &inserted);
+  }
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(table.Find(0, rng.Uniform(100'000)));

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Concurrency house-rules lint (docs/CONCURRENCY.md).
+
+Three rules, all over src/ (the product tree; tests and benches may use
+relaxed atomics freely in scaffolding):
+
+1. relaxed-justification — every `memory_order_relaxed` /
+   `__ATOMIC_RELAXED` use must carry a `// relaxed:` justification
+   comment on the same line or within the preceding JUSTIFY_WINDOW lines.
+   Relaxed ordering is the one memory order whose correctness argument
+   lives entirely outside the type system; the argument must be written
+   down where the code is.
+
+2. suppression-citation — every `race:`/`deadlock:`/... entry in
+   tsan.supp must cite a symbol that still exists somewhere under src/.
+   Stale suppressions silently widen to nothing or to unrelated code.
+
+3. plain-copy — a plain `memcpy`/`memmove`/`memset` whose arguments
+   involve `payload()` (the SVSlot bytes that the Silo seqlock also
+   accesses via word-wise atomics, common/atomic_words.h) must carry a
+   `// plain-copy:` justification (e.g. "exclusive record lock held",
+   "single-threaded load phase"). Mixing plain and atomic access to the
+   same bytes without a stated exclusion argument is how the original
+   tsan.supp entries were born.
+
+Exit status 0 when clean; 1 with file:line diagnostics otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+SUPP = REPO / "tsan.supp"
+
+# How many lines above a flagged line a justification comment may sit.
+JUSTIFY_WINDOW = 6
+
+RELAXED_RE = re.compile(r"memory_order_relaxed|__ATOMIC_RELAXED")
+RELAXED_TAG = "relaxed:"
+
+PLAIN_COPY_RE = re.compile(r"\b(?:std::)?(?:memcpy|memmove|memset)\s*\(")
+PLAIN_COPY_FIELD_RE = re.compile(r"\bpayload\s*\(\s*\)")
+PLAIN_COPY_TAG = "plain-copy:"
+
+# tsan.supp entry: "<type>:<pattern>" (see TSan SuppressionTypes).
+SUPP_ENTRY_RE = re.compile(
+    r"^(race|race_top|thread|mutex|signal|deadlock|called_from_lib)"
+    r":(?P<pattern>\S+)\s*$"
+)
+
+
+def source_files() -> list[Path]:
+    return sorted(
+        p
+        for p in SRC.rglob("*")
+        if p.suffix in {".h", ".cc", ".cpp", ".hpp"} and p.is_file()
+    )
+
+
+def has_tag(lines: list[str], idx: int, tag: str) -> bool:
+    """True if lines[idx] or the JUSTIFY_WINDOW lines above carry `tag`."""
+    lo = max(0, idx - JUSTIFY_WINDOW)
+    return any(tag in line for line in lines[lo : idx + 1])
+
+
+def check_relaxed(path: Path, lines: list[str], errors: list[str]) -> None:
+    for i, line in enumerate(lines):
+        if RELAXED_RE.search(line) and not has_tag(lines, i, RELAXED_TAG):
+            errors.append(
+                f"{path.relative_to(REPO)}:{i + 1}: relaxed atomic without a "
+                f"'// {RELAXED_TAG}' justification within {JUSTIFY_WINDOW} "
+                f"lines"
+            )
+
+
+def check_plain_copy(path: Path, lines: list[str], errors: list[str]) -> None:
+    for i, line in enumerate(lines):
+        if not PLAIN_COPY_RE.search(line):
+            continue
+        # The call may wrap; consider the call line plus the next two for
+        # the sensitive-field test.
+        call_text = " ".join(lines[i : i + 3])
+        if not PLAIN_COPY_FIELD_RE.search(call_text):
+            continue
+        if not has_tag(lines, i, PLAIN_COPY_TAG):
+            errors.append(
+                f"{path.relative_to(REPO)}:{i + 1}: plain memory copy on a "
+                f"seqlock-shared payload() without a '// {PLAIN_COPY_TAG}' "
+                f"justification within {JUSTIFY_WINDOW} lines"
+            )
+
+
+def check_suppressions(errors: list[str]) -> None:
+    if not SUPP.exists():
+        return
+    entries: list[tuple[int, str]] = []
+    for i, line in enumerate(SUPP.read_text().splitlines()):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = SUPP_ENTRY_RE.match(line)
+        if m is None:
+            errors.append(
+                f"tsan.supp:{i + 1}: unrecognized suppression syntax: {line!r}"
+            )
+            continue
+        entries.append((i + 1, m.group("pattern")))
+    if not entries:
+        return
+    blob = "\n".join(p.read_text() for p in source_files())
+    for lineno, pattern in entries:
+        # A suppression pattern is a glob over mangled-ish symbol names;
+        # its identifier components must appear in the tree. Check the
+        # final identifier (function/method name), the most specific part.
+        ident = re.split(r"[:*]", pattern.rstrip("*"))[-1]
+        if not ident:
+            errors.append(
+                f"tsan.supp:{lineno}: cannot extract a symbol from "
+                f"{pattern!r}"
+            )
+        elif not re.search(rf"\b{re.escape(ident)}\b", blob):
+            errors.append(
+                f"tsan.supp:{lineno}: suppression cites '{ident}' "
+                f"(from {pattern!r}) which no longer exists under src/ — "
+                f"delete or update the entry"
+            )
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in source_files():
+        lines = path.read_text().splitlines()
+        check_relaxed(path, lines, errors)
+        check_plain_copy(path, lines, errors)
+    check_suppressions(errors)
+    if errors:
+        print(f"lint_concurrency: {len(errors)} violation(s)", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(
+        f"lint_concurrency: OK "
+        f"({len(source_files())} files, suppressions clean)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

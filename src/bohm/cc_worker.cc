@@ -60,6 +60,9 @@ void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
       BohmTable* table = db_.table(r.rec.table);
       if (table->PartitionOf(r.rec.key) != cc_id) continue;
       BohmIndexEntry* entry = table->Find(cc_id, r.rec.key);
+      // relaxed: this CC thread is the sole writer of heads in its own
+      // partition, so it reads back its own stores; cross-thread
+      // visibility of the annotation itself rides the batch barrier.
       r.version =
           entry ? entry->head.load(std::memory_order_relaxed) : nullptr;
       r.resolved = true;
@@ -67,28 +70,38 @@ void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
   }
 
   // Writes: insert an uninitialized placeholder version per element
-  // (Section 3.2.2, Figure 3).
+  // (Section 3.2.2, Figure 3). The placeholder is fully initialized
+  // (begin_ts, producer, prev) *before* it becomes reachable — either via
+  // GetOrInsert's pre-publication head install (new record) or via the
+  // head release-store below (existing record) — so a concurrent reader
+  // never observes a partial version.
   for (uint32_t i = 0; i < txn->n_writes; ++i) {
     WriteRef& w = txn->writes[i];
     BohmTable* table = db_.table(w.rec.table);
     if (table->PartitionOf(w.rec.key) != cc_id) continue;
-    BohmIndexEntry* entry = table->GetOrInsert(cc_id, w.rec.key);
-    Version* old = entry->head.load(std::memory_order_relaxed);
 
     Version* v = st.alloc.Alloc(w.rec.table, record_sizes_[w.rec.table]);
     v->begin_ts = txn->ts;
-    v->producer = txn;
-    v->prev = old;
+    v->producer = txn;  // prev stays nullptr from Alloc until linked below
     st.versions_created.Inc();
 
-    if (old != nullptr) {
-      // Invalidate the superseded version (its end timestamp becomes this
-      // transaction's timestamp) and queue it for collection once every
-      // execution thread has finished this batch.
-      old->end_ts.store(txn->ts, std::memory_order_release);
-      if (cfg_.gc_enabled) RetireVersion(cc_id, old, batch_id);
+    bool inserted = false;
+    BohmIndexEntry* entry = table->GetOrInsert(cc_id, w.rec.key, v, &inserted);
+    if (!inserted) {
+      // relaxed: this CC thread is the sole writer of this record's head,
+      // so it always sees its own latest store; readers synchronize via
+      // the release below (or the entry publication).
+      Version* old = entry->head.load(std::memory_order_relaxed);
+      v->prev = old;
+      if (old != nullptr) {
+        // Invalidate the superseded version (its end timestamp becomes
+        // this transaction's timestamp) and queue it for collection once
+        // every execution thread has finished this batch.
+        old->end_ts.store(txn->ts, std::memory_order_release);
+        if (cfg_.gc_enabled) RetireVersion(cc_id, old, batch_id);
+      }
+      entry->head.store(v, std::memory_order_release);
     }
-    entry->head.store(v, std::memory_order_release);
     w.version = v;
   }
 }

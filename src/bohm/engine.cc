@@ -46,8 +46,7 @@ Status BohmEngine::Load(TableId table, Key key, const void* payload) {
   BohmTable* t = db_.table(table);
   if (t == nullptr) return Status::NotFound("no such table");
   uint32_t part = t->PartitionOf(key);
-  BohmIndexEntry* entry = t->GetOrInsert(part, key);
-  if (entry->head.load(std::memory_order_relaxed) != nullptr) {
+  if (t->Find(part, key) != nullptr) {
     return Status::InvalidArgument("duplicate key in load");
   }
   Version* v = cc_state_[part]->alloc.Alloc(table, record_sizes_[table]);
@@ -57,8 +56,11 @@ Status BohmEngine::Load(TableId table, Key key, const void* payload) {
   } else {
     std::memset(v->data(), 0, record_sizes_[table]);
   }
-  v->flags.store(kVersionReady, std::memory_order_release);
-  entry->head.store(v, std::memory_order_release);
+  // relaxed: v is thread-private until the entry publication inside
+  // GetOrInsert (release) makes it — flags included — visible.
+  v->flags.store(kVersionReady, std::memory_order_relaxed);
+  bool inserted = false;
+  (void)t->GetOrInsert(part, key, v, &inserted);
   return Status::OK();
 }
 

@@ -9,6 +9,12 @@
 
 namespace bohm {
 
+// Thread-safety: `retired` and `alloc` are plain (unlocked) members of
+// CcState because each is touched only by the one CC thread that owns the
+// partition (docs/CONCURRENCY.md, "single-writer ownership"). Watermark()
+// folds per-thread completed-batch counters published with release stores,
+// so every version at or below the watermark is quiescent by the time it
+// is freed here.
 void BohmEngine::RetireVersion(uint32_t cc_id, Version* v, int64_t batch_id) {
   cc_state_[cc_id]->retired.emplace_back(v, batch_id);
 }

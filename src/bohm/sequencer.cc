@@ -18,6 +18,11 @@ void BohmEngine::SealBatch(Batch* batch, int64_t id) {
   last_sealed_batch_.store(id, std::memory_order_release);
 }
 
+// Thread-safety: `next_batch_id_` and `next_ts_` are plain fields written
+// only by this single sequencer thread (docs/CONCURRENCY.md,
+// "single-writer ownership"); downstream stages learn about a batch solely
+// through SealBatch's release stores, which order everything the
+// sequencer wrote into the batch before them.
 void BohmEngine::SequencerLoop() {
   SpinWait wait;
   for (;;) {

@@ -27,19 +27,34 @@ BohmIndexEntry* BohmTable::Find(uint32_t partition, Key key) const {
   return nullptr;
 }
 
-BohmIndexEntry* BohmTable::GetOrInsert(uint32_t partition, Key key) {
+BohmIndexEntry* BohmTable::GetOrInsert(uint32_t partition, Key key,
+                                       Version* initial_head,
+                                       bool* inserted) {
   Partition& p = *parts_[partition];
   uint64_t b = HashKey(key) & p.mask;
+  // relaxed: this thread is the partition's only writer, so it always
+  // sees its own latest chain head; readers get ordering from Find's
+  // acquire instead.
   BohmIndexEntry* first = p.chains[b].load(std::memory_order_relaxed);
   for (BohmIndexEntry* e = first; e != nullptr; e = e->next) {
-    if (e->key == key) return e;
+    if (e->key == key) {
+      *inserted = false;
+      return e;
+    }
   }
   auto* e = p.arena.New<BohmIndexEntry>();
   e->key = key;
   e->next = first;
-  // Publish after full initialization; concurrent readers traverse safely.
+  // The version chain must be complete before the entry becomes
+  // reachable: install the head pre-publication...
+  // relaxed: e is still thread-private here; the chain release below
+  // publishes this store together with the rest of the entry.
+  e->head.store(initial_head, std::memory_order_relaxed);
+  // ...then publish. The release pairs with Find's acquire, so a reader
+  // that sees the entry also sees key, next, and the initialized head.
   p.chains[b].store(e, std::memory_order_release);
   ++p.count;
+  *inserted = true;
   return e;
 }
 

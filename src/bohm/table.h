@@ -47,12 +47,23 @@ class BohmTable {
   }
 
   /// Read-only lookup; safe from any thread concurrently with owner
-  /// inserts. Returns nullptr when the record has never been written.
+  /// inserts. Returns nullptr when the record has never been written. An
+  /// entry returned by Find always has a fully-initialized version chain
+  /// (head != nullptr): GetOrInsert installs the first version before the
+  /// release-store that publishes the entry.
   BohmIndexEntry* Find(uint32_t partition, Key key) const;
 
   /// Lookup-or-insert; must only be called by the owning CC thread of
-  /// `partition` (or single-threaded during load).
-  BohmIndexEntry* GetOrInsert(uint32_t partition, Key key);
+  /// `partition` (or single-threaded during load). When `key` is absent a
+  /// new entry is created with `initial_head` (must be non-null and fully
+  /// initialized — begin_ts/producer/prev set) installed as the version
+  /// chain head *before* the entry is release-published into the bucket
+  /// chain, so concurrent Find()s never observe a null or partial chain.
+  /// `*inserted` reports whether the entry was created; when false the
+  /// caller owns linking its version behind the existing head (the
+  /// passed `initial_head` is NOT installed).
+  BohmIndexEntry* GetOrInsert(uint32_t partition, Key key,
+                              Version* initial_head, bool* inserted);
 
   /// Number of entries in a partition (test hook; owner thread only).
   uint64_t EntryCount(uint32_t partition) const {
@@ -65,6 +76,8 @@ class BohmTable {
         : mask(buckets - 1), arena(1u << 16) {
       chains = std::make_unique<std::atomic<BohmIndexEntry*>[]>(buckets);
       for (uint64_t i = 0; i < buckets; ++i) {
+        // relaxed: single-threaded construction; the table is published
+        // to workers only after the constructor returns.
         chains[i].store(nullptr, std::memory_order_relaxed);
       }
     }

@@ -1,0 +1,77 @@
+// Word-wise atomic memory copies for seqlock-protected payloads.
+//
+// A seqlock (Silo's TID-word protocol, src/occ/silo_engine.cc) lets a
+// reader copy a payload that a concurrent committer may be overwriting;
+// the version-word recheck discards torn copies. Implementing that copy
+// with plain memcpy is how production Silo does it, but it is a data race
+// in the C++ memory model — the seed tree carried two tsan.supp entries
+// for it. These helpers do the same copy as individual relaxed atomic
+// word accesses: byte-identical code on x86 (relaxed atomic loads/stores
+// compile to plain MOVs), zero suppressions, and TSan checks the rest of
+// the engine at full strength.
+//
+// Torn *copies* are still possible (each word is atomic, the whole
+// payload is not) — that is inherent to seqlocks and exactly what the
+// version-word recheck is for. Both pointers must be 8-byte aligned
+// (StableBuffer allocations and SVSlot payloads are).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace bohm {
+
+namespace detail {
+inline bool WordAligned(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) & (sizeof(uint64_t) - 1)) == 0;
+}
+}  // namespace detail
+
+/// Copies `bytes` from shared memory `src` into private memory `dst`
+/// using relaxed atomic loads. The caller's seqlock protocol must order
+/// the copy (acquire the version word before, fence + recheck after).
+inline void AtomicWordCopyFrom(void* dst, const void* src, size_t bytes) {
+  assert(detail::WordAligned(src) && detail::WordAligned(dst));
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  const size_t words = bytes / sizeof(uint64_t);
+  const auto* sw = reinterpret_cast<const uint64_t*>(src);
+  for (size_t i = 0; i < words; ++i) {
+    // relaxed: seqlock read side — the version-word acquire before the
+    // copy and the fence + recheck after it order the words; a torn copy
+    // is detected and retried by the caller.
+    uint64_t w = __atomic_load_n(sw + i, __ATOMIC_RELAXED);
+    std::memcpy(d + i * sizeof(uint64_t), &w, sizeof(w));
+  }
+  for (size_t i = words * sizeof(uint64_t); i < bytes; ++i) {
+    // relaxed: tail bytes of the seqlock read side, same reasoning.
+    d[i] = __atomic_load_n(s + i, __ATOMIC_RELAXED);
+  }
+}
+
+/// Copies `bytes` from private memory `src` into shared memory `dst`
+/// using relaxed atomic stores. The caller's seqlock protocol must order
+/// the copy (hold the lock bit during, release the version word after).
+inline void AtomicWordCopyTo(void* dst, const void* src, size_t bytes) {
+  assert(detail::WordAligned(src) && detail::WordAligned(dst));
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  const size_t words = bytes / sizeof(uint64_t);
+  auto* dw = reinterpret_cast<uint64_t*>(dst);
+  for (size_t i = 0; i < words; ++i) {
+    uint64_t w;
+    std::memcpy(&w, s + i * sizeof(uint64_t), sizeof(w));
+    // relaxed: seqlock write side — the lock bit held by the committer
+    // excludes other writers, and the version-word release after the
+    // copy publishes it to readers.
+    __atomic_store_n(dw + i, w, __ATOMIC_RELAXED);
+  }
+  for (size_t i = words * sizeof(uint64_t); i < bytes; ++i) {
+    // relaxed: tail bytes of the seqlock write side, same reasoning.
+    __atomic_store_n(d + i, s[i], __ATOMIC_RELAXED);
+  }
+}
+
+}  // namespace bohm

@@ -24,8 +24,14 @@ class CyclicBarrier {
   /// Blocks until all participants have arrived. Returns true on exactly
   /// one participant per generation (the last arriver).
   bool ArriveAndWait() {
+    // relaxed: sense_ only flips inside this generation's release store
+    // below; every participant read its value before arriving (program
+    // order), so no cross-thread ordering is needed for the read.
     const bool sense = sense_.load(std::memory_order_relaxed);
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // relaxed: only the last arriver writes, and waiters cannot pass
+      // the barrier (and re-enter) until the sense release below — which
+      // also publishes this reset.
       remaining_.store(participants_, std::memory_order_relaxed);
       sense_.store(!sense, std::memory_order_release);
       return true;

@@ -136,13 +136,20 @@ class Histogram {
 class AtomicHistogram {
  public:
   void Record(uint64_t value) {
+    // relaxed: single-writer cells — only the owning thread stores, so it
+    // always sees its own latest values; the count_ release below is the
+    // sole publication point (folds acquire count_ first).
     std::atomic<uint64_t>& b = buckets_[Histogram::BucketOf(value)];
     b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    // relaxed: same single-writer reasoning as the bucket cell above.
     total_.store(total_.load(std::memory_order_relaxed) + value,
                  std::memory_order_relaxed);
+    // relaxed: same single-writer reasoning as the bucket cell above.
     if (value > max_.load(std::memory_order_relaxed)) {
       max_.store(value, std::memory_order_relaxed);
     }
+    // relaxed: the load side is single-writer; the release store is what
+    // publishes this sample (bucket before count, never the reverse).
     count_.store(count_.load(std::memory_order_relaxed) + 1,
                  std::memory_order_release);
   }
@@ -152,16 +159,24 @@ class AtomicHistogram {
   /// Merges a snapshot of this histogram into `out`.
   void MergeInto(Histogram* out) const {
     out->count_ += count_.load(std::memory_order_acquire);
+    // relaxed: the count_ acquire above already ordered every sample the
+    // fold is entitled to see; later writer stores may race in but only
+    // ever add samples (monotone), which Delta() tolerates.
     out->total_ += total_.load(std::memory_order_relaxed);
+    // relaxed: same monotone-snapshot reasoning as total_ above.
     uint64_t m = max_.load(std::memory_order_relaxed);
     if (m > out->max_) out->max_ = m;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      // relaxed: same monotone-snapshot reasoning as total_ above.
       out->buckets_[i] += buckets_[i].load(std::memory_order_relaxed);
     }
   }
 
   /// Writer-side (or quiescent) reset only, like RelaxedCounter::Reset.
   void Reset() {
+    // relaxed: quiescent-only operation by contract (no concurrent
+    // Record/MergeInto); the final release store below publishes the
+    // whole reset to whoever observes the histogram next.
     count_.store(0, std::memory_order_relaxed);
     total_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);

@@ -22,6 +22,8 @@ class MpmcQueue {
     assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
            "capacity must be a power of two");
     for (size_t i = 0; i < capacity; ++i) {
+      // relaxed: single-threaded constructor; the queue is published to
+      // other threads by whatever hands them the reference.
       cells_[i].sequence.store(i, std::memory_order_relaxed);
     }
   }
@@ -30,12 +32,17 @@ class MpmcQueue {
   /// Non-blocking push; returns false when the queue is full.
   bool TryPush(T value) {
     Cell* cell;
+    // relaxed: tail_ is only a claim ticket; the cell's sequence word
+    // (acquire below / release on publish) carries all data ordering —
+    // Vyukov's protocol.
     size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
       size_t seq = cell->sequence.load(std::memory_order_acquire);
       intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
       if (diff == 0) {
+        // relaxed: CAS success only claims the ticket; the subsequent
+        // sequence release-store publishes the value.
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -43,6 +50,7 @@ class MpmcQueue {
       } else if (diff < 0) {
         return false;  // full
       } else {
+        // relaxed: re-read of the ticket counter; same reasoning as above.
         pos = tail_.load(std::memory_order_relaxed);
       }
     }
@@ -54,6 +62,7 @@ class MpmcQueue {
   /// Non-blocking pop; returns false when the queue is empty.
   bool TryPop(T* out) {
     Cell* cell;
+    // relaxed: head_ is only a claim ticket (see TryPush).
     size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
@@ -61,6 +70,8 @@ class MpmcQueue {
       intptr_t diff =
           static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
       if (diff == 0) {
+        // relaxed: CAS success only claims the ticket; the sequence
+        // acquire above ordered the value read.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           break;
@@ -68,6 +79,7 @@ class MpmcQueue {
       } else if (diff < 0) {
         return false;  // empty
       } else {
+        // relaxed: re-read of the ticket counter.
         pos = head_.load(std::memory_order_relaxed);
       }
     }

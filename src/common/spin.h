@@ -8,6 +8,10 @@
 // which spins with a pause instruction for a short burst and then yields
 // the processor. On an uncontended multi-core box the yield path is never
 // taken, so the behaviour matches the paper's.
+//
+// The locks here are annotated capabilities (common/thread_annotations.h):
+// under Clang, -Wthread-safety statically checks that fields declared
+// BOHM_GUARDED_BY one of these locks are only touched while it is held.
 #pragma once
 
 #include <atomic>
@@ -15,6 +19,7 @@
 #include <thread>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -56,42 +61,64 @@ class SpinWait {
 };
 
 /// Minimal test-and-test-and-set spinlock with yielding back-off. Satisfies
-/// the C++ Lockable requirements so it can be used with std::lock_guard.
-class SpinLock {
+/// the C++ Lockable requirements so it can be used with std::lock_guard —
+/// but prefer SpinLockGuard below, which Clang's thread-safety analysis
+/// understands (libstdc++'s std::lock_guard carries no annotations).
+class BOHM_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   BOHM_DISALLOW_COPY_AND_ASSIGN(SpinLock);
 
-  void lock() {
+  void lock() BOHM_ACQUIRE() {
     SpinWait wait;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // relaxed: pure read-side spin; the acquire exchange above is the
+      // one that orders the critical section.
       while (locked_.load(std::memory_order_relaxed)) wait.Pause();
     }
   }
 
-  bool try_lock() {
+  bool try_lock() BOHM_TRY_ACQUIRE(true) {
+    // relaxed: advisory peek only; the acquire exchange decides.
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() BOHM_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
 };
 
+/// RAII guard for SpinLock, annotated so the thread-safety analysis knows
+/// the lock is held for the guard's scope.
+class BOHM_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) BOHM_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() BOHM_RELEASE() { lock_.unlock(); }
+  BOHM_DISALLOW_COPY_AND_ASSIGN(SpinLockGuard);
+
+ private:
+  SpinLock& lock_;
+};
+
 /// Reader-writer spinlock used by the 2PL lock table. Writers have
 /// priority once waiting (they set the write bit and wait for readers to
 /// drain), which prevents writer starvation on read-hot records.
-class RWSpinLock {
+class BOHM_CAPABILITY("mutex") RWSpinLock {
  public:
   RWSpinLock() = default;
   BOHM_DISALLOW_COPY_AND_ASSIGN(RWSpinLock);
 
-  void LockShared() {
+  void LockShared() BOHM_ACQUIRE_SHARED() {
     SpinWait wait;
     for (;;) {
+      // relaxed: optimistic peek; the CAS below provides the acquire.
       uint32_t cur = state_.load(std::memory_order_relaxed);
       if ((cur & kWriteBit) == 0 &&
           state_.compare_exchange_weak(cur, cur + kReader,
@@ -103,7 +130,8 @@ class RWSpinLock {
     }
   }
 
-  bool TryLockShared() {
+  bool TryLockShared() BOHM_TRY_ACQUIRE_SHARED(true) {
+    // relaxed: optimistic peek; the CAS provides the acquire on success.
     uint32_t cur = state_.load(std::memory_order_relaxed);
     return (cur & kWriteBit) == 0 &&
            state_.compare_exchange_strong(cur, cur + kReader,
@@ -111,12 +139,15 @@ class RWSpinLock {
                                           std::memory_order_relaxed);
   }
 
-  void UnlockShared() { state_.fetch_sub(kReader, std::memory_order_release); }
+  void UnlockShared() BOHM_RELEASE_SHARED() {
+    state_.fetch_sub(kReader, std::memory_order_release);
+  }
 
-  void LockExclusive() {
+  void LockExclusive() BOHM_ACQUIRE() {
     SpinWait wait;
     // Claim the write bit first so new readers back off.
     for (;;) {
+      // relaxed: optimistic peek; the CAS below provides the acquire.
       uint32_t cur = state_.load(std::memory_order_relaxed);
       if ((cur & kWriteBit) == 0 &&
           state_.compare_exchange_weak(cur, cur | kWriteBit,
@@ -133,14 +164,16 @@ class RWSpinLock {
     }
   }
 
-  bool TryLockExclusive() {
+  bool TryLockExclusive() BOHM_TRY_ACQUIRE(true) {
     uint32_t expected = 0;
+    // relaxed: failure order — a failed CAS acquires nothing, so it needs
+    // no ordering; only the successful acquire CAS enters the section.
     return state_.compare_exchange_strong(expected, kWriteBit,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void UnlockExclusive() {
+  void UnlockExclusive() BOHM_RELEASE() {
     state_.fetch_and(~kWriteBit, std::memory_order_release);
   }
 

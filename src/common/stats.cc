@@ -12,6 +12,10 @@ std::string StatsSnapshot::ToString() const {
   return os.str();
 }
 
+// Thread-safety: safe to call concurrently with running workers — each
+// slice is single-writer (its own thread), and RelaxedCounter::Get /
+// Histogram::MergeInto take monotone acquire snapshots, so Fold returns a
+// consistent-enough point-in-time view without stopping anyone.
 StatsSnapshot StatsRegistry::Fold() const {
   StatsSnapshot out;
   for (uint32_t i = 0; i < threads_; ++i) {

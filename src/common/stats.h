@@ -37,6 +37,9 @@ inline uint64_t MonotonicNanos() {
 class RelaxedCounter {
  public:
   void Inc(uint64_t delta = 1) {
+    // relaxed: single-writer counter — this thread is the only one that
+    // stores, so its own last value needs no ordering; the release store
+    // publishes it to monitors.
     v_.store(v_.load(std::memory_order_relaxed) + delta,
              std::memory_order_release);
   }

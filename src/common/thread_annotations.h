@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety).
+//
+// These macros attach static lock-discipline contracts to types, members,
+// and functions: which lock guards a field, which locks a function
+// acquires/releases, which must already be held. Under Clang the build
+// enforces them (`-Werror=thread-safety-analysis` is enabled by the build
+// whenever the compiler is Clang, see CMakeLists.txt); under GCC and other
+// compilers they expand to nothing, so the annotations are documentation
+// there and a hard error in the Clang CI lane.
+//
+// The annotated capability types live in common/spin.h (SpinLock,
+// RWSpinLock, SpinLockGuard). tests/annotation_compile_test.cc holds
+// deliberately-racy snippets that the build asserts are *rejected* when
+// the analysis is active, so the macros themselves cannot silently rot
+// into no-ops. House rules for when to annotate (and for the dynamic
+// checkers that cover the rest) are in docs/CONCURRENCY.md.
+#pragma once
+
+#if defined(__clang__) && !defined(BOHM_SWIG)
+#define BOHM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BOHM_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define BOHM_CAPABILITY(x) BOHM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define BOHM_SCOPED_CAPABILITY BOHM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define BOHM_GUARDED_BY(x) BOHM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member is protected.
+#define BOHM_PT_GUARDED_BY(x) BOHM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function acquires the capability exclusively (and did not hold it).
+#define BOHM_ACQUIRE(...) \
+  BOHM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the capability shared (reader side).
+#define BOHM_ACQUIRE_SHARED(...) \
+  BOHM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the (exclusively held) capability.
+#define BOHM_RELEASE(...) \
+  BOHM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function releases the shared-held capability.
+#define BOHM_RELEASE_SHARED(...) \
+  BOHM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires exclusively iff it returns `ret`.
+#define BOHM_TRY_ACQUIRE(ret, ...) \
+  BOHM_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The function acquires shared iff it returns `ret`.
+#define BOHM_TRY_ACQUIRE_SHARED(ret, ...) \
+  BOHM_THREAD_ANNOTATION(try_acquire_shared_capability(ret, __VA_ARGS__))
+
+/// The caller must hold the capability exclusively.
+#define BOHM_REQUIRES(...) \
+  BOHM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The caller must hold the capability at least shared.
+#define BOHM_REQUIRES_SHARED(...) \
+  BOHM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock prevention).
+#define BOHM_EXCLUDES(...) BOHM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define BOHM_RETURN_CAPABILITY(x) BOHM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed statically.
+/// Every use must carry a comment explaining why (docs/CONCURRENCY.md).
+#define BOHM_NO_THREAD_SAFETY_ANALYSIS \
+  BOHM_THREAD_ANNOTATION(no_thread_safety_analysis)

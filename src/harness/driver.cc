@@ -38,6 +38,10 @@ BenchResult RunExecutorBench(ExecutorEngine& engine,
                              const TxnSourceMaker& maker,
                              const DriverOptions& opt) {
   const uint32_t threads = engine.worker_threads();
+  // Thread-safety: the driver coordinates workers only through these
+  // acquire/release flags and per-thread histograms (single-writer each,
+  // folded after join) — no locks, nothing for the static analysis to
+  // track (docs/CONCURRENCY.md).
   std::atomic<bool> stop{false};
   std::atomic<bool> measuring{false};
   std::vector<Histogram> latencies(threads);

@@ -117,6 +117,8 @@ Status MVOccEngine::Load(TableId table, Key key, const void* payload) {
   if (slot == nullptr) {
     return Status::InvalidArgument("key outside dense capacity");
   }
+  // relaxed: Load runs single-threaded before workers start; no
+  // concurrent access exists yet and the head release below publishes.
   if (slot->head.load(std::memory_order_relaxed) != nullptr) {
     return Status::InvalidArgument("duplicate key in load");
   }
@@ -126,6 +128,8 @@ Status MVOccEngine::Load(TableId table, Key key, const void* payload) {
   } else {
     std::memset(v->data(), 0, record_sizes_[table]);
   }
+  // relaxed: the version is still private; the slot->head release store
+  // below is the publication point that orders these initializers.
   v->begin.store(0, std::memory_order_relaxed);
   v->end.store(kMVInfinity, std::memory_order_relaxed);
   slot->head.store(v, std::memory_order_release);
@@ -261,6 +265,8 @@ MVVersion* MVOccEngine::InstallWrite(MVRecordSlot* slot, MVTxn* txn,
 
   MVVersion* nv = AllocVersion(ctx, table);
   nv->begin.store(MVTagTxn(txn), std::memory_order_release);
+  // relaxed: nv is thread-private until the head CAS below publishes it
+  // (acq_rel), which orders this initializing store for readers.
   nv->end.store(kMVInfinity, std::memory_order_relaxed);
   nv->next = head;
   if (!slot->head.compare_exchange_strong(head, nv,

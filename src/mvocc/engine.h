@@ -70,6 +70,8 @@ class MVOccEngine final : public ExecutorEngine {
 
   /// Current value of the global timestamp counter (test hook; the paper's
   /// point is that this number grows by >= 2 per transaction).
+  // relaxed: monotonic counter sampled for reporting only; no other data
+  // is synchronized through this read.
   uint64_t clock() const { return clock_.load(std::memory_order_relaxed); }
 
  private:

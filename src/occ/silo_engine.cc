@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/atomic_words.h"
 #include "common/spin.h"
 
 namespace bohm {
@@ -105,6 +106,12 @@ Status SiloEngine::Load(TableId table, Key key, const void* payload) {
 
 uint64_t SiloEngine::StableRead(SVSlot* slot, void* out,
                                 uint32_t size) const {
+  // Seqlock read: acquire the TID word, copy the payload with word-wise
+  // relaxed atomic loads (a concurrent CommitAttempt may be installing
+  // the same payload with word-wise relaxed stores — racing word accesses
+  // are both atomic, so this is race-free at the C++ level and needs no
+  // TSan suppression), then recheck the TID word; a torn copy fails the
+  // recheck and retries.
   SpinWait wait;
   for (;;) {
     uint64_t t1 = slot->header.load(std::memory_order_acquire);
@@ -112,7 +119,7 @@ uint64_t SiloEngine::StableRead(SVSlot* slot, void* out,
       wait.Pause();
       continue;
     }
-    std::memcpy(out, slot->payload(), size);
+    AtomicWordCopyFrom(out, slot->payload(), size);
     std::atomic_thread_fence(std::memory_order_acquire);
     uint64_t t2 = slot->header.load(std::memory_order_acquire);
     if (t1 == t2) return t1;
@@ -130,6 +137,8 @@ bool SiloEngine::CommitAttempt(ThreadCtx& ctx) {
   for (auto& w : ctx.write_set) {
     SpinWait wait;
     for (;;) {
+      // relaxed: optimistic peek (and CAS failure order) — only the
+      // successful acquire CAS orders the critical section.
       uint64_t h = w.slot->header.load(std::memory_order_relaxed);
       if ((h & kLockBit) == 0 &&
           w.slot->header.compare_exchange_weak(h, h | kLockBit,
@@ -169,6 +178,8 @@ bool SiloEngine::CommitAttempt(ThreadCtx& ctx) {
   if (!valid) {
     for (auto& w : ctx.write_set) {
       if (w.locked) {
+        // relaxed: we hold the lock bit, so no other thread can be
+        // writing the header; the release store hands it back.
         uint64_t h = w.slot->header.load(std::memory_order_relaxed);
         w.slot->header.store(h & ~kLockBit, std::memory_order_release);
         w.locked = false;
@@ -185,6 +196,8 @@ bool SiloEngine::CommitAttempt(ThreadCtx& ctx) {
     max_tid = std::max(max_tid, r.tid & ~kLockBit);
   }
   for (const auto& w : ctx.write_set) {
+    // relaxed: we hold this slot's lock bit, so the header is stable;
+    // only its numeric value feeds the TID computation.
     max_tid =
         std::max(max_tid, w.slot->header.load(std::memory_order_relaxed) &
                               ~kLockBit);
@@ -195,9 +208,11 @@ bool SiloEngine::CommitAttempt(ThreadCtx& ctx) {
   if (commit_tid < epoch_floor) commit_tid = epoch_floor + 2;
   ctx.last_tid = commit_tid;
 
-  // Install writes and release locks by publishing the new TID.
+  // Install writes and release locks by publishing the new TID. The
+  // payload copy is word-wise relaxed atomic stores (the seqlock write
+  // side — see StableRead); the TID release-store publishes it.
   for (auto& w : ctx.write_set) {
-    std::memcpy(w.slot->payload(), w.buf, w.size);
+    AtomicWordCopyTo(w.slot->payload(), w.buf, w.size);
     w.slot->header.store(commit_tid, std::memory_order_release);
     w.locked = false;
   }

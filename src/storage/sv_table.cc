@@ -29,6 +29,8 @@ Status SVTable::Insert(Key key, const void* initial) {
     IndexEntry& e = index_[pos];
     if (e.slot_plus_one == 0) {
       SVSlot* slot = new (SlotAt(count_)) SVSlot();
+      // plain-copy: Insert runs in the single-threaded load phase, before
+      // any worker (and so any seqlock reader) can reach this slot.
       if (initial != nullptr) {
         std::memcpy(slot->payload(), initial, spec_.record_size);
       } else {

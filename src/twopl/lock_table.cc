@@ -1,7 +1,5 @@
 #include "twopl/lock_table.h"
 
-#include <mutex>
-
 namespace bohm {
 
 LockTable::LockTable(uint64_t expected_records) {
@@ -18,14 +16,16 @@ LockEntry* LockTable::GetOrCreate(const RecordId& rec) {
     if (e->rec == rec) return e;
   }
   // Slow path (load phase, or first touch of an unloaded key).
-  std::lock_guard<SpinLock> guard(b.latch);
+  SpinLockGuard guard(b.latch);
+  // relaxed: b.latch is held, so no other thread can be mutating head; the
+  // fast path's acquire pairs with the release publication below.
   LockEntry* head = b.head.load(std::memory_order_relaxed);
   for (LockEntry* e = head; e != nullptr; e = e->next) {
     if (e->rec == rec) return e;
   }
   LockEntry* e;
   {
-    std::lock_guard<SpinLock> arena_guard(arena_latch_);
+    SpinLockGuard arena_guard(arena_latch_);
     e = arena_.New<LockEntry>();
   }
   e->rec = rec;

@@ -16,6 +16,7 @@
 #include "common/hash.h"
 #include "common/macros.h"
 #include "common/spin.h"
+#include "common/thread_annotations.h"
 #include "txn/key.h"
 
 namespace bohm {
@@ -48,6 +49,10 @@ class LockTable {
  private:
   struct Bucket {
     SpinLock latch;
+    /// Chain head. Published entries are immutable, so the fast-path read
+    /// is latch-free (acquire load); *mutation* requires `latch`. The
+    /// atomic cannot be GUARDED_BY(latch) without outlawing the lock-free
+    /// fast path — the insert path below documents the discipline instead.
     std::atomic<LockEntry*> head{nullptr};
   };
 
@@ -58,7 +63,7 @@ class LockTable {
   uint64_t mask_;
   std::unique_ptr<Bucket[]> buckets_;
   SpinLock arena_latch_;
-  Arena arena_;
+  Arena arena_ BOHM_GUARDED_BY(arena_latch_);
   std::atomic<uint64_t> count_{0};
 };
 

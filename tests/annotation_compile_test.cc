@@ -1,0 +1,95 @@
+// Negative tests for the thread-safety annotations (ISSUE: the analysis
+// must actually reject racy code, not just decorate it). Case 0 is the
+// control: correctly-locked code that compiles on every compiler and runs
+// as a normal gtest. Cases 1..4 each contain one deliberate locking bug;
+// CMake registers them (Clang only) as `-fsyntax-only` compiles with
+// `-Werror=thread-safety-analysis` and WILL_FAIL, so the suite goes red if
+// the analysis ever stops catching them — e.g. if the macros in
+// common/thread_annotations.h silently degrade to no-ops under Clang.
+//
+//   case 1 — touching a BOHM_GUARDED_BY member without the lock
+//   case 2 — returning while still holding a lock (leak / forgot unlock)
+//   case 3 — calling a BOHM_REQUIRES function without the capability
+//   case 4 — re-acquiring a lock already held (self-deadlock)
+
+#include "common/spin.h"
+#include "common/thread_annotations.h"
+
+#ifndef BOHM_ANNOTATION_CASE
+#define BOHM_ANNOTATION_CASE 0
+#endif
+
+namespace bohm {
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    SpinLockGuard guard(mu_);
+    balance_ += amount;
+  }
+
+  int Balance() {
+    SpinLockGuard guard(mu_);
+    return balance_;
+  }
+
+  void DepositLocked(int amount) BOHM_REQUIRES(mu_) { balance_ += amount; }
+
+  SpinLock mu_;
+
+ private:
+  int balance_ BOHM_GUARDED_BY(mu_) = 0;
+
+#if BOHM_ANNOTATION_CASE == 1
+ public:
+  int RacyRead() { return balance_; }  // no lock: must not compile
+#elif BOHM_ANNOTATION_CASE == 2
+ public:
+  int LeakyRead() {
+    mu_.lock();
+    return balance_;  // returns with mu_ held: must not compile
+  }
+#elif BOHM_ANNOTATION_CASE == 3
+ public:
+  void UnlockedCall() { DepositLocked(1); }  // missing mu_: must not compile
+#elif BOHM_ANNOTATION_CASE == 4
+ public:
+  void DoubleLock() {
+    SpinLockGuard outer(mu_);
+    SpinLockGuard inner(mu_);  // self-deadlock: must not compile
+    balance_ += 1;
+  }
+#endif
+};
+
+}  // namespace
+}  // namespace bohm
+
+#if BOHM_ANNOTATION_CASE == 0
+
+#include <gtest/gtest.h>
+
+namespace bohm {
+namespace {
+
+TEST(AnnotationCompileTest, ControlCompilesAndRuns) {
+  Account a;
+  a.Deposit(3);
+  {
+    SpinLockGuard guard(a.mu_);
+    a.DepositLocked(4);
+  }
+  EXPECT_EQ(a.Balance(), 7);
+}
+
+}  // namespace
+}  // namespace bohm
+
+#else
+
+// The failure cases are compiled with -fsyntax-only (never linked), but
+// give them a main so the TU is a complete program regardless.
+int main() { return 0; }
+
+#endif

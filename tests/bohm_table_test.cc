@@ -36,14 +36,25 @@ TEST(BohmTableTest, PartitionsCoverAllThreads) {
   for (bool h : hit) EXPECT_TRUE(h);
 }
 
+// Sentinel version pointers: the table never dereferences heads, so tests
+// that only exercise index behaviour can use tagged values.
+Version* Sentinel(uintptr_t tag) { return reinterpret_cast<Version*>(tag); }
+
 TEST(BohmTableTest, GetOrInsertFindsSame) {
   BohmTable t(Spec(100), 2);
   Key k = 42;
   uint32_t p = t.PartitionOf(k);
-  BohmIndexEntry* e1 = t.GetOrInsert(p, k);
-  BohmIndexEntry* e2 = t.GetOrInsert(p, k);
+  bool ins1 = false;
+  bool ins2 = true;
+  BohmIndexEntry* e1 = t.GetOrInsert(p, k, Sentinel(1), &ins1);
+  BohmIndexEntry* e2 = t.GetOrInsert(p, k, Sentinel(2), &ins2);
+  EXPECT_TRUE(ins1);
+  EXPECT_FALSE(ins2);
   EXPECT_EQ(e1, e2);
   EXPECT_EQ(t.Find(p, k), e1);
+  // The losing initial_head is NOT installed; the first insert's head
+  // stays (the caller links further versions itself).
+  EXPECT_EQ(e1->head.load(), Sentinel(1));
 }
 
 TEST(BohmTableTest, FindMissingReturnsNull) {
@@ -55,7 +66,9 @@ TEST(BohmTableTest, EntryCountPerPartition) {
   BohmTable t(Spec(1000), 2);
   uint64_t total = 0;
   for (Key k = 0; k < 100; ++k) {
-    (void)t.GetOrInsert(t.PartitionOf(k), k);
+    bool inserted = false;
+    (void)t.GetOrInsert(t.PartitionOf(k), k, Sentinel(k + 1), &inserted);
+    EXPECT_TRUE(inserted);
   }
   for (uint32_t p = 0; p < 2; ++p) total += t.EntryCount(p);
   EXPECT_EQ(total, 100u);
@@ -65,7 +78,8 @@ TEST(BohmTableTest, ManyKeysNoCollisionLoss) {
   constexpr uint64_t kN = 50000;
   BohmTable t(Spec(kN), 3);
   for (Key k = 0; k < kN; ++k) {
-    (void)t.GetOrInsert(t.PartitionOf(k), k);
+    bool inserted = false;
+    (void)t.GetOrInsert(t.PartitionOf(k), k, Sentinel(k + 1), &inserted);
   }
   for (Key k = 0; k < kN; ++k) {
     ASSERT_NE(t.Find(t.PartitionOf(k), k), nullptr) << k;
@@ -75,18 +89,22 @@ TEST(BohmTableTest, ManyKeysNoCollisionLoss) {
 TEST(BohmTableTest, ConcurrentReadersDuringOwnerInserts) {
   // One owner thread inserts into its partition while readers look up:
   // readers must only ever see fully-initialized entries (correct key,
-  // never a crash), the single-writer/multi-reader discipline of
-  // Section 3.3.1.
+  // initialized head, never a crash), the single-writer/multi-reader
+  // discipline of Section 3.3.1.
+  //
+  // `published` starts at -1 ("nothing inserted yet"): the seed version of
+  // this test initialized it to 0, so a reader racing ahead of the owner's
+  // very first insert probed key 0 before it existed and reported a
+  // missing entry — the ~5/12 TSan flake of ROADMAP item 1b.
   BohmTable t(Spec(100000), 1);  // single partition: all keys owned by 0
-  constexpr Key kMax = 20000;
-  std::atomic<Key> published{0};
+  constexpr int64_t kMax = 20000;
+  std::atomic<int64_t> published{-1};
   std::atomic<bool> failed{false};
 
   std::thread owner([&] {
-    for (Key k = 0; k < kMax; ++k) {
-      BohmIndexEntry* e = t.GetOrInsert(0, k);
-      e->head.store(reinterpret_cast<Version*>(k + 1),
-                    std::memory_order_release);
+    for (int64_t k = 0; k < kMax; ++k) {
+      bool inserted = false;
+      (void)t.GetOrInsert(0, static_cast<Key>(k), Sentinel(k + 1), &inserted);
       published.store(k, std::memory_order_release);
     }
   });
@@ -94,10 +112,11 @@ TEST(BohmTableTest, ConcurrentReadersDuringOwnerInserts) {
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&] {
       while (published.load(std::memory_order_acquire) < kMax - 1) {
-        Key upto = published.load(std::memory_order_acquire);
-        for (Key k = 0; k <= upto; k += 97) {
-          BohmIndexEntry* e = t.Find(0, k);
-          if (e == nullptr || e->key != k) {
+        int64_t upto = published.load(std::memory_order_acquire);
+        for (int64_t k = 0; k <= upto; k += 97) {
+          BohmIndexEntry* e = t.Find(0, static_cast<Key>(k));
+          if (e == nullptr || e->key != static_cast<Key>(k) ||
+              e->head.load(std::memory_order_acquire) == nullptr) {
             failed.store(true, std::memory_order_release);
             return;
           }
@@ -108,6 +127,56 @@ TEST(BohmTableTest, ConcurrentReadersDuringOwnerInserts) {
   owner.join();
   for (auto& r : readers) r.join();
   EXPECT_FALSE(failed.load());
+}
+
+TEST(BohmTableTest, FindNeverObservesUninitializedHead) {
+  // Publication-ordering regression (ROADMAP item 1b): GetOrInsert must
+  // install the version-chain head *before* release-publishing the entry
+  // into the bucket chain. The readers chase the owner's publication edge
+  // — they spin on Find() for exactly the key being inserted and inspect
+  // the head the moment the entry appears — so an implementation that
+  // publishes first and installs the head afterwards (the seed tree's
+  // cc_worker/Load sequence) is caught within a handful of keys; under
+  // TSan's scheduler the window is torn wide open.
+  BohmTable t(Spec(100000), 1);
+  constexpr int64_t kMax = 20000;
+  std::atomic<int64_t> inserting{-1};
+  std::atomic<uint64_t> bad_heads{0};
+  std::atomic<uint64_t> observed{0};
+
+  // Readers sweep every key exactly once and terminate on their own: once
+  // the owner has inserted key k, Find(k) eventually succeeds, so the
+  // sweep always completes — no stop flag, and each reader deterministically
+  // inspects all kMax entries however the threads are scheduled.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      for (int64_t k = 0; k < kMax;) {
+        // Only probe keys the owner has started inserting; probing ahead
+        // would just return nullptr (absent key), which is fine but noise.
+        if (inserting.load(std::memory_order_acquire) < k) continue;
+        BohmIndexEntry* e = t.Find(0, static_cast<Key>(k));
+        if (e == nullptr) continue;  // not published yet: retry same key
+        observed.fetch_add(1, std::memory_order_relaxed);
+        if (e->head.load(std::memory_order_acquire) == nullptr) {
+          bad_heads.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++k;
+      }
+    });
+  }
+
+  for (int64_t k = 0; k < kMax; ++k) {
+    inserting.store(k, std::memory_order_release);
+    bool inserted = false;
+    (void)t.GetOrInsert(0, static_cast<Key>(k), Sentinel(k + 1), &inserted);
+    ASSERT_TRUE(inserted);
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad_heads.load(), 0u)
+      << "a Find() returned an entry whose version chain head was not yet "
+         "installed — entry published before initialization";
+  EXPECT_EQ(observed.load(), 2u * kMax);
 }
 
 TEST(VersionAllocatorTest, AllocInitializesFields) {
