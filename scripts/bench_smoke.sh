@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
 # Smoke-check a benchmark binary's JSON output: run it with tiny
 # parameters (the caller sets the BOHM_BENCH_* knobs; CTest does), then
-# assert that every Bohm point carries a real latency distribution —
-# lat_count > 0 and 0 < p50 <= p99 <= p999. Guards the end-to-end
-# latency path (Submit stamp -> exec-stage record -> fold -> JSON)
-# against silently reporting zeros.
+# assert that every Bohm point carries
+#   - a real latency distribution: lat_count > 0 and
+#     0 < p50 <= p99 <= p999 (guards the end-to-end latency path,
+#     Submit stamp -> exec-stage record -> fold -> JSON), and
+#   - the per-stage pipeline stall attribution of the streamed handoff:
+#     seq_stall_us / cc_stall_us / exec_stall_us present and >= 0
+#     (guards the stall accounting path, stage counters -> snapshot
+#     delta -> JSON).
+#
+# When BOHM_SMOKE_MIN_TPUT > 0 (CTest sets it on Release builds only —
+# sanitizer and debug presets run an order of magnitude slower), the
+# best Bohm 1-thread point must also clear that throughput floor.
+# Baseline for the floor: the barriered (pre-streaming) pipeline at the
+# same smoke knobs (BOHM_BENCH_THREADS=1,2 RECORDS=512 WARMUP_MS=10
+# MEASURE_MS=50) measured ~323K txn/s at 1 thread on the CI host; the
+# floor is set well below it (see CMakeLists.txt) because 50ms windows
+# on a loaded host are noisy — it catches an order-of-magnitude
+# regression (e.g. a stage accidentally serialized against a sleeping
+# wait), while regression *to a barrier* is caught structurally by the
+# bohm_streaming_test overlap tests, not by timing.
 #
 # Usage: bench_smoke.sh <bench-binary> <json-output-path>
 set -euo pipefail
 
 bin=${1:?usage: bench_smoke.sh <bench-binary> <json-output-path>}
 out=${2:?usage: bench_smoke.sh <bench-binary> <json-output-path>}
+min_tput=${BOHM_SMOKE_MIN_TPUT:-0}
 
 rm -f "$out"
 BOHM_BENCH_JSON="$out" "$bin"
@@ -22,16 +39,25 @@ fi
 
 # One point per line with a fixed key order (see src/harness/report.cc),
 # so awk can assert without a JSON parser.
-awk '
+awk -v min_tput="$min_tput" '
   /"system": "Bohm"/ {
     bohm++
     lat_count = p50 = p99 = p999 = -1
+    seq_stall = cc_stall = exec_stall = -1
+    threads = tput = -1
+    # Strip JSON punctuation up front so values quoted as strings (the
+    # swept parameters, e.g. "threads": "1") parse numerically too.
+    gsub(/[",:{}]/, "", $0)
     for (i = 1; i <= NF; ++i) {
-      gsub(/[",:{}]/, "", $i)
       if ($i == "lat_count") lat_count = $(i + 1) + 0
       if ($i == "p50_us") p50 = $(i + 1) + 0
       if ($i == "p99_us") p99 = $(i + 1) + 0
       if ($i == "p999_us") p999 = $(i + 1) + 0
+      if ($i == "seq_stall_us") seq_stall = $(i + 1) + 0
+      if ($i == "cc_stall_us") cc_stall = $(i + 1) + 0
+      if ($i == "exec_stall_us") exec_stall = $(i + 1) + 0
+      if ($i == "threads") threads = $(i + 1) + 0
+      if ($i == "tput_txns_per_sec") tput = $(i + 1) + 0
     }
     if (lat_count <= 0) { print "FAIL: Bohm point with lat_count<=0: " $0; bad++ }
     else if (p50 <= 0) { print "FAIL: Bohm point with p50_us<=0: " $0; bad++ }
@@ -39,10 +65,28 @@ awk '
       print "FAIL: non-monotone percentiles (p50 " p50 ", p99 " p99 ", p999 " p999 "): " $0
       bad++
     }
+    # Stall attribution must be emitted (>= 0 means the key was present;
+    # the sentinel -1 survives only when the field is missing). Zero is a
+    # legal value — a perfectly balanced pipeline may not stall at all.
+    if (seq_stall < 0 || cc_stall < 0 || exec_stall < 0) {
+      print "FAIL: Bohm point missing stall attribution (seq " seq_stall \
+            ", cc " cc_stall ", exec " exec_stall "): " $0
+      bad++
+    }
+    if (threads == 1 && tput > best_1t) best_1t = tput
   }
   END {
     if (bohm == 0) { print "FAIL: no Bohm points in output"; exit 1 }
+    if (min_tput > 0) {
+      if (best_1t + 0 < min_tput) {
+        print "FAIL: Bohm 1-thread throughput " best_1t + 0 \
+              " txn/s below floor " min_tput " (barriered baseline ~323K)"
+        bad++
+      } else {
+        print "OK: Bohm 1-thread throughput " best_1t " txn/s >= floor " min_tput
+      }
+    }
     if (bad > 0) exit 1
-    print "OK: " bohm " Bohm points, all with non-zero monotone latency"
+    print "OK: " bohm " Bohm points, all with non-zero monotone latency and stall attribution"
   }
 ' "$out"

@@ -1,20 +1,29 @@
-// Batches and the pipeline ring connecting the three Bohm stages.
+// Batches and the slot ring backing the streamed Bohm pipeline.
 //
 // Coordination happens once per batch, never per transaction (Section
-// 3.2.4). The sequencer fills a batch and publishes it; every CC thread
-// walks every published batch in order (deriving parallelism from intra-
-// transaction partitioning, not batch partitioning); after the per-batch
-// CC barrier the batch is published to the execution layer; execution
-// threads likewise walk batches in order, striping transactions among
-// themselves (Section 3.3.1).
+// 3.2.4) — and since the move to epoch watermarks, "coordination" means
+// publishing a counter, not parking at a barrier. The sequencer fills a
+// batch slot and announces the batch id through per-stage single-producer/
+// single-consumer feed rings (common/queue.h); every CC thread walks every
+// announced batch in order (deriving parallelism from intra-transaction
+// partitioning, not batch partitioning) and advances its own entry in a
+// WatermarkSet (common/barrier.h) when its partition slice is done.
+// Execution threads may start striping batch b as soon as
+// min(cc_watermark) >= b — CC threads stream straight into batch b+1
+// while execution is still inside b (Section 3.3.1).
 //
 // The ring has a fixed number of slots. A slot for batch b is reused for
 // batch b + depth only once every execution thread has finished b, which
 // the sequencer checks against the execution low-watermark — the same
-// watermark that drives garbage collection (Section 3.3.2).
+// watermark that drives garbage collection (Section 3.3.2). Because the
+// execution watermark can never pass the CC watermark, slot reuse also
+// implies every CC thread has left the batch.
+//
+// The Batch struct itself carries no publication state: the feed-ring
+// push is the sequencer's release publication of the filled slot, and the
+// watermark stores are the CC stage's (docs/CONCURRENCY.md rule R5).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -32,11 +41,6 @@ struct Batch {
   std::vector<ProcedurePtr> procs;
   /// Holds the BohmTxn objects and their read/write ref arrays.
   Arena arena{1u << 16};
-
-  /// id+1 once the sequencer has filled the slot (release-published).
-  std::atomic<int64_t> seq_published{0};
-  /// id+1 once all CC threads have finished the batch.
-  std::atomic<int64_t> cc_published{0};
 
   void ResetForReuse() {
     txns.clear();

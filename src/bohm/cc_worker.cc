@@ -1,11 +1,17 @@
-// The concurrency-control stage (Sections 3.2.2–3.2.4).
+// The concurrency-control stage (Sections 3.2.2–3.2.4), streamed.
 //
 // Every CC thread walks every batch in log order and, for each
 // transaction, processes exactly those read/write-set elements whose key
 // hashes to its partition. The decision is purely thread-local; two CC
 // threads never touch the same record, even across transaction boundaries,
 // so version insertion needs no synchronization. The only cross-thread
-// coordination is one barrier per batch.
+// coordination is one release store per batch: each thread advances its
+// own cc_watermark_ slot when its partition slice is done and streams
+// straight into the next batch — it never waits for its peers. The
+// execution stage folds min(cc_watermark) to admit batches, so a thread
+// that falls behind delays execution of that batch but stalls nobody in
+// this stage (the barrier this replaces parked every CC thread once per
+// batch).
 
 #include "common/spin.h"
 #include "bohm/engine.h"
@@ -13,19 +19,33 @@
 namespace bohm {
 
 void BohmEngine::CcLoop(uint32_t cc_id) {
-  for (int64_t b = 0;; ++b) {
+  SpscQueue<int64_t>& feed = *cc_feed_[cc_id];
+  StallSlot& stall = *cc_stall_[cc_id];
+  const BohmTestHooks* hooks = hooks_.get();
+  for (;;) {
+    int64_t b;
+    if (!feed.TryPop(&b)) {
+      // Feed dry: wait for the sequencer to seal the next batch, charging
+      // the wait to this stage's stall attribution. Shutdown: once the
+      // sequencer is done (its done flag is release-stored after the last
+      // feed push), a failed re-poll means the feed is drained for good.
+      const uint64_t stall_start = MonotonicNanos();
+      SpinWait wait;
+      for (;;) {
+        if (feed.TryPop(&b)) break;
+        if (sequencer_done_.load(std::memory_order_acquire)) {
+          if (feed.TryPop(&b)) break;
+          stall.ns.Inc(MonotonicNanos() - stall_start);
+          return;
+        }
+        wait.Pause();
+      }
+      stall.ns.Inc(MonotonicNanos() - stall_start);
+    }
+
     Batch* batch = ring_.Slot(b);
-    // Wait for the sequencer to publish batch b (or for shutdown).
-    SpinWait wait;
-    for (;;) {
-      if (batch->seq_published.load(std::memory_order_acquire) == b + 1) {
-        break;
-      }
-      if (sequencer_done_.load(std::memory_order_acquire) &&
-          b > last_sealed_batch_.load(std::memory_order_acquire)) {
-        return;
-      }
-      wait.Pause();
+    if (hooks != nullptr && hooks->cc_batch_start) {
+      hooks->cc_batch_start(cc_id, b);
     }
 
     // Recycle versions whose retirement batch the execution layer has
@@ -38,11 +58,14 @@ void BohmEngine::CcLoop(uint32_t cc_id) {
       CcProcessTxn(cc_id, txn, b);
     }
 
-    // One barrier per batch (Section 3.2.4); the last thread through
-    // publishes the batch to the execution layer.
-    if (cc_barrier_->ArriveAndWait()) {
-      batch->cc_published.store(b + 1, std::memory_order_release);
+    if (hooks != nullptr && hooks->cc_batch_end) {
+      hooks->cc_batch_end(cc_id, b);
     }
+    // Epoch-watermark publication (replaces the per-batch barrier): the
+    // release store orders every annotation and placeholder this thread
+    // wrote into batch b before it, so an exec thread whose watermark
+    // fold admits b observes them all (docs/CONCURRENCY.md rule R5).
+    cc_watermark_.Advance(cc_id, b);
   }
 }
 
@@ -62,7 +85,8 @@ void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
       BohmIndexEntry* entry = table->Find(cc_id, r.rec.key);
       // relaxed: this CC thread is the sole writer of heads in its own
       // partition, so it reads back its own stores; cross-thread
-      // visibility of the annotation itself rides the batch barrier.
+      // visibility of the annotation itself rides the cc_watermark_
+      // release/acquire edge (rule R5).
       r.version =
           entry ? entry->head.load(std::memory_order_relaxed) : nullptr;
       r.resolved = true;

@@ -14,7 +14,7 @@ BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
         if (cfg.cc_threads == 0) cfg.cc_threads = 1;
         if (cfg.exec_threads == 0) cfg.exec_threads = 1;
         if (cfg.batch_size == 0) cfg.batch_size = 1;
-        if (cfg.pipeline_depth < 2) cfg.pipeline_depth = 2;
+        if (cfg.pipeline_depth < 1) cfg.pipeline_depth = 1;
         if (cfg.max_dependency_depth == 0) cfg.max_dependency_depth = 1;
         if (cfg.cc_threads > 64) cfg.interest_preprocessing = false;
         return cfg;
@@ -23,17 +23,26 @@ BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
       ring_(cfg_.pipeline_depth),
       input_(NextPow2(cfg_.input_queue_capacity < 2 ? 2
                                                     : cfg_.input_queue_capacity)),
+      cc_watermark_(cfg_.cc_threads),
+      exec_watermark_(cfg_.exec_threads),
       stats_(cfg_.exec_threads) {
   record_sizes_.resize(catalog_.MaxTableId(), 0);
   for (const TableSpec& t : catalog_.tables()) {
     record_sizes_[t.id] = t.record_size;
   }
-  cc_barrier_ = std::make_unique<CyclicBarrier>(cfg_.cc_threads);
+  // Feed capacity >= pipeline depth guarantees SealBatch's pushes succeed
+  // (see the member comment in engine.h).
+  const size_t feed_capacity = NextPow2(cfg_.pipeline_depth < 2
+                                            ? 2
+                                            : cfg_.pipeline_depth);
   for (uint32_t i = 0; i < cfg_.cc_threads; ++i) {
     cc_state_.push_back(std::make_unique<CcState>());
+    cc_feed_.push_back(std::make_unique<SpscQueue<int64_t>>(feed_capacity));
+    cc_stall_.push_back(std::make_unique<StallSlot>());
   }
   for (uint32_t i = 0; i < cfg_.exec_threads; ++i) {
-    exec_completed_.push_back(std::make_unique<ExecSlot>());
+    exec_feed_.push_back(std::make_unique<SpscQueue<int64_t>>(feed_capacity));
+    exec_stall_.push_back(std::make_unique<StallSlot>());
   }
 }
 
@@ -144,13 +153,16 @@ void BohmEngine::WaitForIdle() {
   }
 }
 
-int64_t BohmEngine::Watermark() const {
-  int64_t min = INT64_MAX;
-  for (const auto& slot : exec_completed_) {
-    int64_t v = slot->completed.load(std::memory_order_acquire);
-    if (v < min) min = v;
-  }
-  return min;
+int64_t BohmEngine::Watermark() const { return exec_watermark_.Min(); }
+
+int64_t BohmEngine::CcWatermark() const { return cc_watermark_.Min(); }
+
+StatsSnapshot BohmEngine::Stats() const {
+  StatsSnapshot s = stats_.Fold();
+  s.seq_stall_ns = seq_stall_.ns.Get();
+  for (const auto& st : cc_stall_) s.cc_stall_ns += st->ns.Get();
+  for (const auto& st : exec_stall_) s.exec_stall_ns += st->ns.Get();
+  return s;
 }
 
 uint64_t BohmEngine::gc_freed_versions() const {

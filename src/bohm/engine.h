@@ -8,13 +8,21 @@
 //      --> m concurrency-control threads: each walks every batch and
 //          processes exactly the records in its hash partition — inserts
 //          uninitialized version placeholders for writes and annotates
-//          reads with version references (Sections 3.2.2, 3.2.3); one
-//          barrier per batch (Section 3.2.4)
-//      --> n execution threads: walk batches in order, stripe transactions
-//          among themselves, evaluate transaction logic filling the
-//          placeholders, recursively evaluating producers of unready read
-//          dependencies (Section 3.3.1); publish per-thread batch counters
-//          from which the GC low-watermark is folded (Section 3.3.2).
+//          reads with version references (Sections 3.2.2, 3.2.3); each
+//          thread advances its own epoch watermark per batch instead of
+//          parking at a per-batch barrier (Section 3.2.4), so CC threads
+//          stream into batch b+1 while slower ones are still in b
+//      --> n execution threads: start batch b once min(cc_watermark) >= b,
+//          stripe transactions among themselves, evaluate transaction
+//          logic filling the placeholders, recursively evaluating
+//          producers of unready read dependencies (Section 3.3.1); publish
+//          per-thread completion watermarks from which the GC / slot-reuse
+//          low-watermark is folded (Section 3.3.2).
+//
+// Handoff between stages is wait-free on the hot path: the sequencer
+// announces sealed batch ids through per-consumer SPSC feed rings, and
+// the only inter-stage waits are bounded spins on watermark folds (with
+// yielding back-off under oversubscription).
 //
 // Reads never block writes; writes may block reads (only on placeholder
 // data not yet produced). No global timestamp counter, no lock manager, no
@@ -24,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -50,7 +59,9 @@ struct BohmConfig {
   /// Transactions per batch. Coordination cost is amortized over this many
   /// transactions (Section 3.2.4).
   uint32_t batch_size = 256;
-  /// Batches in flight across the three stages.
+  /// Batches in flight across the three stages (minimum 1; depth 1
+  /// degenerates the stream to one batch at a time, which the streaming
+  /// equivalence tests use as the serial reference point).
   uint32_t pipeline_depth = 4;
   /// Enable Condition-3 garbage collection of superseded versions
   /// (Section 3.3.2).
@@ -71,6 +82,25 @@ struct BohmConfig {
   /// whose partitions it touches, so CC threads skip foreign transactions
   /// without scanning their read/write sets. Requires cc_threads <= 64.
   bool interest_preprocessing = true;
+};
+
+/// Test-only observation/freeze points inside the pipeline threads. Every
+/// callback is invoked from the engine thread named by its first argument;
+/// a callback that blocks freezes exactly that thread (the streaming tests
+/// use this to pin a CC thread mid-batch and prove execution still honours
+/// the watermark). Install before Start(); unset hooks cost one pointer
+/// check per batch, never per transaction.
+struct BohmTestHooks {
+  /// CC thread `cc_id` is about to process its slice of `batch_id`.
+  std::function<void(uint32_t cc_id, int64_t batch_id)> cc_batch_start;
+  /// CC thread `cc_id` finished its slice of `batch_id` (its watermark is
+  /// advanced immediately after this returns).
+  std::function<void(uint32_t cc_id, int64_t batch_id)> cc_batch_end;
+  /// Exec thread `exec_id` is about to stripe `batch_id` (the CC
+  /// watermark fold has already admitted the batch).
+  std::function<void(uint32_t exec_id, int64_t batch_id)> exec_batch_start;
+  /// Exec thread `exec_id` completed its stripe of `batch_id`.
+  std::function<void(uint32_t exec_id, int64_t batch_id)> exec_batch_end;
 };
 
 class BohmEngine {
@@ -108,16 +138,31 @@ class BohmEngine {
   /// Blocks until every transaction submitted so far has been executed.
   void WaitForIdle();
 
-  /// Aggregated execution counters.
-  StatsSnapshot Stats() const { return stats_.Fold(); }
+  /// Aggregated execution counters plus per-stage stall attribution.
+  StatsSnapshot Stats() const;
 
   /// The execution low-watermark: every batch with id <= Watermark() has
   /// been fully executed by every execution thread (drives GC and batch
   /// slot reuse).
   int64_t Watermark() const;
 
+  /// The CC low-watermark: every CC thread has finished its partition
+  /// slice of every batch with id <= CcWatermark(). Execution may only be
+  /// inside batches the CC watermark has passed, so
+  /// Watermark() <= CcWatermark() always holds.
+  int64_t CcWatermark() const;
+
   /// Test hooks.
   const BohmDatabase& db() const { return db_; }
+  /// Installs pipeline observation hooks. Must be called before Start().
+  void set_test_hooks(std::shared_ptr<const BohmTestHooks> hooks) {
+    hooks_ = std::move(hooks);
+  }
+  /// Highest batch id the sequencer has sealed so far (-1 before the
+  /// first seal).
+  int64_t last_sealed_batch() const {
+    return last_sealed_batch_.load(std::memory_order_acquire);
+  }
   uint64_t submitted() const {
     return submitted_.load(std::memory_order_acquire);
   }
@@ -138,8 +183,10 @@ class BohmEngine {
     RelaxedCounter freed;
     RelaxedCounter versions_created;
   };
-  struct alignas(kCacheLineSize) ExecSlot {
-    std::atomic<int64_t> completed{-1};
+  /// Single-writer wall-clock stall accumulator, one per pipeline thread
+  /// (padded so stall accounting never shares a line across threads).
+  struct alignas(kCacheLineSize) StallSlot {
+    RelaxedCounter ns;
   };
 
   // --- sequencer stage (sequencer.cc) ---
@@ -176,10 +223,22 @@ class BohmEngine {
   std::vector<uint32_t> record_sizes_;  // by table id
   BatchRing ring_;
   MpmcQueue<InputItem> input_;
-  std::unique_ptr<CyclicBarrier> cc_barrier_;
   std::vector<std::unique_ptr<CcState>> cc_state_;
-  std::vector<std::unique_ptr<ExecSlot>> exec_completed_;
+  /// Per-thread CC progress; execution admits batch b when Min() >= b.
+  WatermarkSet cc_watermark_;
+  /// Per-thread execution progress; Min() is Watermark() (GC/slot reuse).
+  WatermarkSet exec_watermark_;
+  /// Sealed-batch feed rings, one SPSC pair per consumer thread
+  /// (sequencer is the sole producer). Capacity >= pipeline depth, so a
+  /// push can never fail: at most `depth` sealed batches are un-consumed
+  /// thanks to the sequencer's slot-reuse back-pressure.
+  std::vector<std::unique_ptr<SpscQueue<int64_t>>> cc_feed_;
+  std::vector<std::unique_ptr<SpscQueue<int64_t>>> exec_feed_;
   StatsRegistry stats_;  // one slice per execution thread
+  StallSlot seq_stall_;
+  std::vector<std::unique_ptr<StallSlot>> cc_stall_;
+  std::vector<std::unique_ptr<StallSlot>> exec_stall_;
+  std::shared_ptr<const BohmTestHooks> hooks_;
 
   std::vector<std::thread> threads_;
   std::atomic<bool> started_{false};

@@ -60,20 +60,45 @@ class BohmOps final : public TxnOps {
 };
 
 void BohmEngine::ExecLoop(uint32_t exec_id) {
-  ExecSlot& my_slot = *exec_completed_[exec_id];
-  for (int64_t b = 0;; ++b) {
+  SpscQueue<int64_t>& feed = *exec_feed_[exec_id];
+  StallSlot& stall = *exec_stall_[exec_id];
+  const BohmTestHooks* hooks = hooks_.get();
+  for (;;) {
+    // Pop the next sealed batch id from this thread's feed ring (or
+    // return once the sequencer is done and the feed is drained).
+    int64_t b;
+    if (!feed.TryPop(&b)) {
+      const uint64_t stall_start = MonotonicNanos();
+      SpinWait wait;
+      for (;;) {
+        if (feed.TryPop(&b)) break;
+        if (sequencer_done_.load(std::memory_order_acquire)) {
+          if (feed.TryPop(&b)) break;
+          stall.ns.Inc(MonotonicNanos() - stall_start);
+          return;
+        }
+        wait.Pause();
+      }
+      stall.ns.Inc(MonotonicNanos() - stall_start);
+    }
+
+    // Admission: execution may enter batch b only once every CC thread
+    // has finished its slice of b — min(cc_watermark) >= b. The acquire
+    // fold pairs with each CC thread's release watermark store, so all
+    // placeholders and annotations of batch b are visible here (rule R5).
+    // This wait terminates without extra shutdown plumbing: CC threads
+    // drain the same sealed-batch feed before exiting, so their
+    // watermarks always reach b eventually.
+    if (cc_watermark_.Min() < b) {
+      const uint64_t stall_start = MonotonicNanos();
+      SpinWait wait;
+      while (cc_watermark_.Min() < b) wait.Pause();
+      stall.ns.Inc(MonotonicNanos() - stall_start);
+    }
+
     Batch* batch = ring_.Slot(b);
-    // Wait for the CC stage to publish batch b (or for shutdown).
-    SpinWait wait;
-    for (;;) {
-      if (batch->cc_published.load(std::memory_order_acquire) == b + 1) {
-        break;
-      }
-      if (sequencer_done_.load(std::memory_order_acquire) &&
-          b > last_sealed_batch_.load(std::memory_order_acquire)) {
-        return;
-      }
-      wait.Pause();
+    if (hooks != nullptr && hooks->exec_batch_start) {
+      hooks->exec_batch_start(exec_id, b);
     }
 
     // Stripe: this thread is responsible for transactions exec_id,
@@ -82,7 +107,7 @@ void BohmEngine::ExecLoop(uint32_t exec_id) {
     // cannot advance to batch b+1 until all of its stripe is Complete.
     const size_t n = batch->txns.size();
     bool all_done = false;
-    wait.Reset();
+    SpinWait wait;
     while (!all_done) {
       all_done = true;
       for (size_t idx = exec_id; idx < n; idx += cfg_.exec_threads) {
@@ -94,7 +119,10 @@ void BohmEngine::ExecLoop(uint32_t exec_id) {
       }
       if (!all_done) wait.Pause();
     }
-    my_slot.completed.store(b, std::memory_order_release);
+    if (hooks != nullptr && hooks->exec_batch_end) {
+      hooks->exec_batch_end(exec_id, b);
+    }
+    exec_watermark_.Advance(exec_id, b);
   }
 }
 

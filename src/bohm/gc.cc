@@ -12,9 +12,14 @@ namespace bohm {
 // Thread-safety: `retired` and `alloc` are plain (unlocked) members of
 // CcState because each is touched only by the one CC thread that owns the
 // partition (docs/CONCURRENCY.md, "single-writer ownership"). Watermark()
-// folds per-thread completed-batch counters published with release stores,
-// so every version at or below the watermark is quiescent by the time it
-// is freed here.
+// folds the per-thread *execution* watermarks (release-published), so
+// every version at or below the watermark is quiescent by the time it is
+// freed here. This composes with the streamed CC stage's own watermarks:
+// the execution watermark can never pass the CC watermark (execution only
+// admits batches the CC fold has passed), so a CC thread running several
+// batches ahead merely queues more retirees — it can never free a version
+// an execution thread might still read, and slot reuse (also keyed on
+// Watermark()) can never recycle a batch a CC thread is still inside.
 void BohmEngine::RetireVersion(uint32_t cc_id, Version* v, int64_t batch_id) {
   cc_state_[cc_id]->retired.emplace_back(v, batch_id);
 }

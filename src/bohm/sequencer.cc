@@ -4,6 +4,7 @@
 // single-writer operation, in contrast to the global fetch-and-increment
 // counters of conventional multi-version systems (Section 2.1).
 
+#include <cassert>
 #include <utility>
 
 #include "common/spin.h"
@@ -13,8 +14,22 @@ namespace bohm {
 
 void BohmEngine::SealBatch(Batch* batch, int64_t id) {
   batch->id = id;
-  // Publish to the CC stage; CC threads wait for seq_published == id + 1.
-  batch->seq_published.store(id + 1, std::memory_order_release);
+  // Publish the sealed batch by announcing its id through every
+  // consumer's SPSC feed ring: the ring's release store is what makes the
+  // slot contents the sequencer just wrote visible to that consumer
+  // (docs/CONCURRENCY.md rule R5). The pushes cannot fail — feed capacity
+  // is at least the pipeline depth and the slot-reuse back-pressure above
+  // bounds un-consumed sealed batches by the depth.
+  for (auto& feed : cc_feed_) {
+    bool pushed = feed->TryPush(id);
+    assert(pushed && "cc feed overflow: back-pressure invariant broken");
+    (void)pushed;
+  }
+  for (auto& feed : exec_feed_) {
+    bool pushed = feed->TryPush(id);
+    assert(pushed && "exec feed overflow: back-pressure invariant broken");
+    (void)pushed;
+  }
   last_sealed_batch_.store(id, std::memory_order_release);
 }
 
@@ -28,11 +43,17 @@ void BohmEngine::SequencerLoop() {
   for (;;) {
     const int64_t id = next_batch_id_;
     // Back-pressure: slot (id mod depth) is reusable only once every
-    // execution thread has moved past the batch that used it previously.
+    // execution thread has finished the batch that used it previously
+    // (batch id - depth). This is the only place the sequencer waits on
+    // downstream progress; the time spent here is the sequencer's stall
+    // attribution.
     Batch* batch = ring_.Slot(id);
-    wait.Reset();
-    while (id - Watermark() >= static_cast<int64_t>(ring_.depth())) {
-      wait.Pause();
+    const int64_t prev_occupant = id - static_cast<int64_t>(ring_.depth());
+    if (Watermark() < prev_occupant) {
+      const uint64_t stall_start = MonotonicNanos();
+      wait.Reset();
+      while (Watermark() < prev_occupant) wait.Pause();
+      seq_stall_.ns.Inc(MonotonicNanos() - stall_start);
     }
     batch->ResetForReuse();
 

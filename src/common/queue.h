@@ -1,6 +1,13 @@
-// Bounded lock-free MPMC queue (Vyukov's algorithm). Used as the input
-// queue between clients and the Bohm sequencer thread, and by the harness
-// drivers. Capacity must be a power of two.
+// Bounded lock-free queues.
+//
+//  * MpmcQueue — Vyukov's algorithm; the input queue between clients and
+//    the Bohm sequencer thread, also used by the harness drivers.
+//  * SpscQueue — single-producer/single-consumer ring with cache-line-
+//    padded indices and cached peer indices; the per-stage handoff rings
+//    of the streamed Bohm pipeline (sequencer -> each CC thread,
+//    sequencer -> each execution thread).
+//
+// Capacities must be powers of two.
 #pragma once
 
 #include <atomic>
@@ -107,6 +114,77 @@ class MpmcQueue {
   std::unique_ptr<Cell[]> cells_;
   alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
   alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+};
+
+/// Bounded wait-free single-producer/single-consumer ring.
+///
+/// The producer owns `tail_`, the consumer owns `head_`; each side keeps a
+/// cached copy of the peer's index so the common case touches only its own
+/// cache line plus the slot. The release store of the owned index is the
+/// only publication: everything the producer wrote into the slot (and
+/// everything it wrote anywhere else beforehand) is visible to a consumer
+/// whose acquire load observes the advanced tail — which is exactly the
+/// property the Bohm sequencer relies on to publish sealed batches
+/// (docs/CONCURRENCY.md rule R5).
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1),
+        slots_(std::make_unique<T[]>(capacity)) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0 &&
+           "capacity must be a power of two");
+  }
+  BOHM_DISALLOW_COPY_AND_ASSIGN(SpscQueue);
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T value) {
+    // relaxed: tail_ is written only by this (the producer) thread, so it
+    // reads back its own last store; ordering rides the release below.
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;  // full
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    // relaxed: head_ is written only by this (the consumer) thread, so it
+    // reads back its own last store; the tail acquire below orders the
+    // slot read against the producer's release publication.
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // empty
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact from the consumer thread).
+  bool Empty() const {
+    // relaxed: consumer-owned index (see TryPop).
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<T[]> slots_;
+  /// Producer cache line: owned tail index + cached consumer head.
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+  size_t head_cache_ = 0;
+  /// Consumer cache line: owned head index + cached producer tail.
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  size_t tail_cache_ = 0;
 };
 
 }  // namespace bohm

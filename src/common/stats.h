@@ -80,6 +80,13 @@ struct StatsSnapshot {
   /// commits exactly (one sample is recorded per commit, before the
   /// commit counter increment).
   Histogram latency_us;
+  /// Per-stage stall attribution for pipelined engines (Bohm), in
+  /// nanoseconds of wall-clock wait, summed over the stage's threads.
+  /// Monotone like the counters, so a window is the snapshot difference.
+  /// Zero for executor engines (they have no pipeline to stall).
+  uint64_t seq_stall_ns = 0;   ///< sequencer waiting for slot reuse
+  uint64_t cc_stall_ns = 0;    ///< CC threads waiting for sealed batches
+  uint64_t exec_stall_ns = 0;  ///< exec threads waiting for feed/CC watermark
 
   double AbortRate() const {
     uint64_t attempts = commits + cc_aborts;

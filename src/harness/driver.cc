@@ -29,6 +29,11 @@ BenchResult Window(const StatsSnapshot& before, const StatsSnapshot& after,
   // engines (they record nothing engine-side); RunExecutorBench merges
   // its driver-side per-thread histograms on top.
   r.latency_us = Histogram::Delta(after.latency_us, before.latency_us);
+  // Stall attribution is monotone like the counters (zero for executor
+  // engines).
+  r.seq_stall_ns = after.seq_stall_ns - before.seq_stall_ns;
+  r.cc_stall_ns = after.cc_stall_ns - before.cc_stall_ns;
+  r.exec_stall_ns = after.exec_stall_ns - before.exec_stall_ns;
   return r;
 }
 

@@ -44,6 +44,14 @@ struct BenchResult {
   /// windowed between two quiesced snapshots so its count equals
   /// `commits` exactly.
   Histogram latency_us;
+  /// Per-stage stall attribution over the window (pipelined engines
+  /// only): wall-clock nanoseconds each stage spent waiting on another
+  /// stage, summed across the stage's threads. Attributes pipeline wait
+  /// to sequencer (slot-reuse back-pressure), CC (feed dry) and
+  /// execution (feed dry or CC watermark behind).
+  uint64_t seq_stall_ns = 0;
+  uint64_t cc_stall_ns = 0;
+  uint64_t exec_stall_ns = 0;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(commits) / seconds : 0.0;

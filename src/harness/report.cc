@@ -144,10 +144,15 @@ void JsonReport::Write() const {
         ", \"tput_txns_per_sec\": %.1f, \"abort_rate\": %.6f"
         ", \"lat_count\": %" PRIu64 ", \"lat_mean_us\": %.3f"
         ", \"p50_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
-        ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64 "}%s\n",
+        ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64
+        ", \"seq_stall_us\": %.1f, \"cc_stall_us\": %.1f"
+        ", \"exec_stall_us\": %.1f}%s\n",
         r.seconds, r.commits, r.cc_aborts, r.logic_aborts, r.Throughput(),
         r.AbortRate(), r.latency_us.count(), r.latency_us.Mean(), r.P50Us(),
         r.P99Us(), r.P999Us(), r.latency_us.max(),
+        static_cast<double>(r.seq_stall_ns) / 1000.0,
+        static_cast<double>(r.cc_stall_ns) / 1000.0,
+        static_cast<double>(r.exec_stall_ns) / 1000.0,
         i + 1 < points_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

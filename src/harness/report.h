@@ -38,10 +38,12 @@ class Report {
 /// Machine-readable benchmark output. When the BOHM_BENCH_JSON
 /// environment variable names a file, Write() emits every measurement
 /// point a figure binary produced — parameters, throughput, abort
-/// counts, and the full latency profile (count/mean/p50/p99/p999/max in
-/// microseconds) — as one JSON object per line, so shell tools can
-/// assert on points without a JSON parser. No-op when the variable is
-/// unset, so the human-readable tables stay the default.
+/// counts, the full latency profile (count/mean/p50/p99/p999/max in
+/// microseconds), and the per-stage pipeline stall attribution
+/// (seq/cc/exec_stall_us; zero for executor engines) — as one JSON
+/// object per line, so shell tools can assert on points without a JSON
+/// parser. No-op when the variable is unset, so the human-readable
+/// tables stay the default.
 class JsonReport {
  public:
   /// One (name, value) pair per swept parameter, e.g. {"threads", "4"}.

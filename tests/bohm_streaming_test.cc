@@ -1,0 +1,549 @@
+// Proof suite for the streamed Bohm pipeline (epoch watermarks + SPSC
+// handoff, replacing the one-barrier-per-batch CC handoff).
+//
+// Three properties, per the design:
+//  (a) serial equivalence — the streamed pipeline produces exactly the
+//      golden/serial-reference state across seeded YCSB and SmallBank
+//      mixes at pipeline depths 1, 2 and 8;
+//  (b) the watermark is honoured — with a CC thread frozen mid-batch via
+//      a test hook, execution never enters a batch the CC watermark fold
+//      has not passed (the streaming analogue of the index test
+//      FindNeverObservesUninitializedHead);
+//  (c) overlap really happens — execution commits batch b while a CC
+//      thread is inside batch b+1, and CC threads cross batch boundaries
+//      independently of each other (impossible under the old barrier), so
+//      the optimization cannot silently regress to a barrier.
+//
+// All waits yield (SpinWait / std::this_thread::yield), so the suite is
+// deterministic on a single-core host too: a frozen thread blocks inside
+// its hook and everyone else keeps making progress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bohm/engine.h"
+#include "common/rand.h"
+#include "common/zipf.h"
+#include "harness/engines.h"
+#include "workload/smallbank.h"
+#include "workload/ycsb.h"
+#include "test_util.h"
+
+namespace bohm {
+namespace {
+
+using testutil::OneTable;
+
+/// Yield-waits until `pred()` holds or `timeout_ms` elapses; returns
+/// whether the predicate held. Every blocking assertion in this suite
+/// goes through here so a broken pipeline fails the test instead of
+/// hanging the binary until the CTest timeout.
+template <typename Pred>
+bool WaitUntil(Pred pred, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+/// One-shot gate a hook can block on (yielding) until the test opens it.
+class Gate {
+ public:
+  void Open() { open_.store(true, std::memory_order_release); }
+  void Wait() {
+    while (!open_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  bool IsOpen() const { return open_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> open_{false};
+};
+
+// ---------------------------------------------------------------------------
+// (a) Serial equivalence across pipeline depths, YCSB mix.
+// ---------------------------------------------------------------------------
+
+class StreamedYcsbEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(StreamedYcsbEquivalence, MatchesGoldenReplayAcrossDepths) {
+  const auto [depth, seed] = GetParam();
+  constexpr uint64_t kRecords = 48;
+  constexpr uint32_t kRecordSize = 16;
+  constexpr int kTxns = 600;
+
+  YcsbConfig ycsb;
+  ycsb.record_count = kRecords;
+  ycsb.record_size = kRecordSize;
+  ycsb.theta = 0.9;  // contended: hot keys cross CC partitions constantly
+
+  BohmConfig cfg;
+  cfg.cc_threads = 3;
+  cfg.exec_threads = 2;
+  cfg.batch_size = 7;  // deliberately odd so batches straddle txn patterns
+  cfg.pipeline_depth = depth;
+  BohmEngine engine(YcsbCatalog(ycsb), cfg);
+  ASSERT_TRUE(YcsbLoad(ycsb, [&](TableId t, Key k, const void* p) {
+                return engine.Load(t, k, p);
+              }).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Golden replay: each 10RMW increments the counter prefix of its keys
+  // exactly once, so the final counter of key k is the number of times k
+  // appeared across all transactions.
+  std::vector<uint64_t> golden(kRecords, 0);
+  Rng rng(seed);
+  ScrambledZipf zipf(kRecords, ycsb.theta);
+  for (int i = 0; i < kTxns; ++i) {
+    std::vector<Key> keys;
+    while (keys.size() < 4) {
+      Key k = zipf.Next(rng);
+      bool dup = false;
+      for (Key seen : keys) dup = dup || seen == k;
+      if (!dup) keys.push_back(k);
+    }
+    for (Key k : keys) ++golden[k];
+    ASSERT_TRUE(
+        engine.Submit(std::make_unique<YcsbRmwProcedure>(keys, kRecordSize))
+            .ok());
+  }
+  engine.WaitForIdle();
+
+  std::vector<char> rec(kRecordSize);
+  for (Key k = 0; k < kRecords; ++k) {
+    ASSERT_TRUE(engine.ReadLatest(kYcsbTableId, k, rec.data()).ok());
+    uint64_t counter = 0;
+    std::memcpy(&counter, rec.data(), sizeof(counter));
+    EXPECT_EQ(counter, golden[k]) << "depth " << depth << " key " << k;
+  }
+  EXPECT_EQ(engine.Stats().commits, static_cast<uint64_t>(kTxns));
+  engine.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndSeeds, StreamedYcsbEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(7u, 21u)),
+    [](const auto& param_info) {
+      return "depth" + std::to_string(std::get<0>(param_info.param)) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// (a) Serial equivalence across pipeline depths, SmallBank mix, checked
+// against a serial reference engine fed the identical seeded stream.
+// ---------------------------------------------------------------------------
+
+class StreamedSmallBankEquivalence
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StreamedSmallBankEquivalence, MatchesSerialReference) {
+  const uint32_t depth = GetParam();
+  constexpr uint64_t kSeed = 99;
+  constexpr int kTxns = 500;
+  SmallBankConfig sb;
+  sb.customers = 24;  // high contention
+  sb.spin_us = 0;
+
+  // Serial reference: single-threaded 2PL executes the stream in
+  // submission order — exactly the barriered pipeline's semantics.
+  std::map<std::pair<TableId, Key>, uint64_t> reference;
+  {
+    auto ref = MakeExecutorEngine(EngineKind::k2PL, SmallBankCatalog(sb), 1);
+    ASSERT_TRUE(SmallBankLoad(sb, [&](TableId t, Key k, const void* p) {
+                  return ref->Load(t, k, p);
+                }).ok());
+    SmallBankGenerator gen(sb, kSeed);
+    for (int i = 0; i < kTxns; ++i) {
+      ProcedurePtr p = gen.Make();
+      Status s = ref->Execute(*p, 0);
+      ASSERT_TRUE(s.ok() || s.IsAborted());
+    }
+    for (TableId t : {kSbCustomerTable, kSbSavingsTable, kSbCheckingTable}) {
+      for (Key c = 0; c < sb.customers; ++c) {
+        uint64_t v = 0;
+        bool found = false;
+        GetProcedure get(t, c, &v, &found);
+        ASSERT_TRUE(ref->Execute(get, 0).ok());
+        ASSERT_TRUE(found);
+        reference[{t, c}] = v;
+      }
+    }
+  }
+
+  // Streamed pipeline, same seed, same stream.
+  BohmConfig cfg;
+  cfg.cc_threads = 2;
+  cfg.exec_threads = 2;
+  cfg.batch_size = 9;
+  cfg.pipeline_depth = depth;
+  BohmEngine engine(SmallBankCatalog(sb), cfg);
+  ASSERT_TRUE(SmallBankLoad(sb, [&](TableId t, Key k, const void* p) {
+                return engine.Load(t, k, p);
+              }).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  SmallBankGenerator gen(sb, kSeed);
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(engine.Submit(gen.Make()).ok());
+  }
+  engine.WaitForIdle();
+
+  for (const auto& [rec, want] : reference) {
+    uint64_t v = 0;
+    ASSERT_TRUE(engine.ReadLatest(rec.first, rec.second, &v).ok());
+    EXPECT_EQ(v, want) << "depth " << depth << " table " << rec.first
+                       << " customer " << rec.second;
+  }
+  engine.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, StreamedSmallBankEquivalence,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto& param_info) {
+                           return "depth" + std::to_string(param_info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// (b) Execution never enters a batch the CC watermark has not passed —
+// even with a CC thread frozen mid-batch.
+// ---------------------------------------------------------------------------
+
+TEST(BohmStreamingTest, ExecNeverObservesBatchBelowCcWatermark) {
+  constexpr int64_t kFreezeBatch = 2;
+  BohmConfig cfg;
+  cfg.cc_threads = 2;
+  cfg.exec_threads = 2;
+  cfg.batch_size = 4;
+  cfg.pipeline_depth = 4;
+  cfg.input_queue_capacity = 1024;
+  BohmEngine engine(OneTable(16), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 16; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+
+  Gate release;
+  std::atomic<bool> frozen{false};
+  std::atomic<bool> watermark_violated{false};
+  std::atomic<int64_t> max_exec_batch{-1};
+  auto hooks = std::make_shared<BohmTestHooks>();
+  hooks->cc_batch_start = [&](uint32_t cc_id, int64_t b) {
+    if (cc_id == 0 && b == kFreezeBatch) {
+      frozen.store(true, std::memory_order_release);
+      release.Wait();  // CC thread 0 parks here, mid-batch
+    }
+  };
+  hooks->exec_batch_start = [&](uint32_t, int64_t b) {
+    // The admission invariant: min(cc_watermark) >= b at entry. The fold
+    // is monotone, so reading it after admission cannot hide a violation.
+    if (engine.CcWatermark() < b) {
+      watermark_violated.store(true, std::memory_order_release);
+    }
+    int64_t seen = max_exec_batch.load(std::memory_order_relaxed);
+    while (seen < b && !max_exec_batch.compare_exchange_weak(
+                           seen, b, std::memory_order_acq_rel)) {
+    }
+  };
+  engine.set_test_hooks(hooks);
+  ASSERT_TRUE(engine.Start().ok());
+
+  constexpr int kTxns = 200;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(
+        engine.Submit(std::make_unique<IncrementProcedure>(0, i % 16)).ok());
+  }
+
+  // CC thread 0 must reach the freeze point; its watermark is then stuck
+  // at kFreezeBatch - 1, capping execution there no matter how far the
+  // sequencer and CC thread 1 run ahead.
+  ASSERT_TRUE(WaitUntil([&] { return frozen.load(); })) << "never froze";
+  ASSERT_TRUE(WaitUntil([&] { return engine.Watermark() >= kFreezeBatch - 1; }))
+      << "execution did not reach the pre-freeze batches";
+  // Give execution ample opportunity to (incorrectly) run ahead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(engine.CcWatermark(), kFreezeBatch - 1);
+  EXPECT_EQ(engine.Watermark(), kFreezeBatch - 1);
+  EXPECT_LE(max_exec_batch.load(), kFreezeBatch - 1);
+  EXPECT_FALSE(watermark_violated.load());
+
+  release.Open();
+  engine.WaitForIdle();
+  EXPECT_FALSE(watermark_violated.load());
+
+  uint64_t total = 0;
+  for (Key k = 0; k < 16; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(engine.ReadLatest(0, k, &v).ok());
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kTxns));
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// (c) Overlap: execution commits batch b while a CC thread is inside
+// batch b+1.
+// ---------------------------------------------------------------------------
+
+TEST(BohmStreamingTest, ExecCommitsBatchWhileCcInsideNextBatch) {
+  BohmConfig cfg;
+  cfg.cc_threads = 2;
+  cfg.exec_threads = 2;
+  cfg.batch_size = 4;
+  cfg.pipeline_depth = 4;
+  cfg.input_queue_capacity = 1024;
+  BohmEngine engine(OneTable(8), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 8; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+
+  Gate release;
+  std::atomic<bool> frozen_in_next{false};
+  auto hooks = std::make_shared<BohmTestHooks>();
+  hooks->cc_batch_start = [&](uint32_t cc_id, int64_t b) {
+    if (cc_id == 0 && b == 1) {
+      frozen_in_next.store(true, std::memory_order_release);
+      release.Wait();  // CC thread 0 is now *inside* batch 1
+    }
+  };
+  engine.set_test_hooks(hooks);
+  ASSERT_TRUE(engine.Start().ok());
+
+  constexpr int kTxns = 60;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(
+        engine.Submit(std::make_unique<IncrementProcedure>(0, i % 8)).ok());
+  }
+
+  ASSERT_TRUE(WaitUntil([&] { return frozen_in_next.load(); }))
+      << "CC thread 0 never entered batch 1";
+  // With CC thread 0 frozen inside batch 1, batch 0 is below the CC
+  // watermark and must flow through execution to commit — the overlap the
+  // barriered handoff's serialized schedule never exhibits under test
+  // control. Watermark() >= 0 means every exec thread finished batch 0.
+  ASSERT_TRUE(WaitUntil([&] { return engine.Watermark() >= 0; }))
+      << "execution never committed batch 0 while CC was inside batch 1";
+  EXPECT_TRUE(frozen_in_next.load());
+  EXPECT_GT(engine.Stats().commits, 0u);
+
+  release.Open();
+  engine.WaitForIdle();
+  uint64_t total = 0;
+  for (Key k = 0; k < 8; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(engine.ReadLatest(0, k, &v).ok());
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kTxns));
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// (c) No silent barrier regression: CC threads cross batch boundaries
+// independently. Under the replaced per-batch barrier, no CC thread could
+// enter batch b+1 while a peer was still inside batch b.
+// ---------------------------------------------------------------------------
+
+TEST(BohmStreamingTest, CcThreadsStreamIndependentlyAcrossBatches) {
+  BohmConfig cfg;
+  cfg.cc_threads = 2;
+  cfg.exec_threads = 1;
+  cfg.batch_size = 2;
+  cfg.pipeline_depth = 8;
+  cfg.input_queue_capacity = 1024;
+  BohmEngine engine(OneTable(16), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 16; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+
+  Gate release;
+  std::atomic<bool> frozen{false};
+  std::atomic<int64_t> cc1_max_batch{-1};
+  auto hooks = std::make_shared<BohmTestHooks>();
+  hooks->cc_batch_start = [&](uint32_t cc_id, int64_t b) {
+    if (cc_id == 0 && b == 1) {
+      frozen.store(true, std::memory_order_release);
+      release.Wait();
+    }
+    if (cc_id == 1) {
+      int64_t seen = cc1_max_batch.load(std::memory_order_relaxed);
+      while (seen < b && !cc1_max_batch.compare_exchange_weak(
+                             seen, b, std::memory_order_acq_rel)) {
+      }
+    }
+  };
+  engine.set_test_hooks(hooks);
+  ASSERT_TRUE(engine.Start().ok());
+
+  constexpr int kTxns = 120;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(
+        engine.Submit(std::make_unique<IncrementProcedure>(0, i % 16)).ok());
+  }
+
+  ASSERT_TRUE(WaitUntil([&] { return frozen.load(); }))
+      << "CC thread 0 never entered batch 1";
+  // Execution is pinned at batch 0 (CC fold stuck at 0), so the sequencer
+  // can seal up to pipeline_depth batches — CC thread 1 must stream
+  // through several of them while its peer stays frozen in batch 1. If
+  // the handoff ever regresses to a barrier, CC thread 1 parks at batch 1
+  // and this times out.
+  ASSERT_TRUE(WaitUntil([&] { return cc1_max_batch.load() >= 3; }))
+      << "CC stage regressed to lockstep: peer never streamed ahead of "
+         "the frozen thread (cc1 reached batch "
+      << cc1_max_batch.load() << ")";
+  EXPECT_TRUE(frozen.load());
+
+  release.Open();
+  engine.WaitForIdle();
+  uint64_t total = 0;
+  for (Key k = 0; k < 16; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(engine.ReadLatest(0, k, &v).ok());
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kTxns));
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Stall attribution: a pipeline throttled at the CC stage charges the
+// wait to the right stages.
+// ---------------------------------------------------------------------------
+
+TEST(BohmStreamingTest, StallCountersAttributePipelineWait) {
+  BohmConfig cfg;
+  cfg.cc_threads = 2;
+  cfg.exec_threads = 1;
+  cfg.batch_size = 4;
+  cfg.pipeline_depth = 2;
+  cfg.input_queue_capacity = 1024;
+  BohmEngine engine(OneTable(8), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 8; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+
+  Gate release;
+  std::atomic<bool> frozen{false};
+  auto hooks = std::make_shared<BohmTestHooks>();
+  hooks->cc_batch_start = [&](uint32_t cc_id, int64_t b) {
+    if (cc_id == 0 && b == 1) {
+      frozen.store(true, std::memory_order_release);
+      release.Wait();
+    }
+  };
+  engine.set_test_hooks(hooks);
+  ASSERT_TRUE(engine.Start().ok());
+
+  constexpr int kTxns = 100;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(
+        engine.Submit(std::make_unique<IncrementProcedure>(0, i % 8)).ok());
+  }
+  ASSERT_TRUE(WaitUntil([&] { return frozen.load(); }));
+  // While frozen: the exec thread waits on the CC watermark for batch 1
+  // (exec stall); the sequencer finishes sealing up to the depth bound
+  // and then waits for slot reuse (sequencer stall); CC thread 1 drains
+  // its feed and waits for more (CC stall).
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  release.Open();
+  engine.WaitForIdle();
+
+  const StatsSnapshot s = engine.Stats();
+  EXPECT_GT(s.seq_stall_ns, 0u) << "sequencer back-pressure not attributed";
+  EXPECT_GT(s.cc_stall_ns, 0u) << "CC feed-dry wait not attributed";
+  EXPECT_GT(s.exec_stall_ns, 0u) << "exec watermark wait not attributed";
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate depth and watermark algebra.
+// ---------------------------------------------------------------------------
+
+TEST(BohmStreamingTest, DepthOnePipelineStreamsSerially) {
+  BohmConfig cfg;
+  cfg.cc_threads = 2;
+  cfg.exec_threads = 2;
+  cfg.batch_size = 3;
+  cfg.pipeline_depth = 1;  // one batch in flight: the serial reference point
+  BohmEngine engine(OneTable(4), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 4; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.config().pipeline_depth, 1u);
+
+  constexpr int kTxns = 300;
+  for (int i = 0; i < kTxns; ++i) {
+    ASSERT_TRUE(
+        engine.Submit(std::make_unique<IncrementProcedure>(0, i % 4)).ok());
+  }
+  engine.WaitForIdle();
+  uint64_t total = 0;
+  for (Key k = 0; k < 4; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(engine.ReadLatest(0, k, &v).ok());
+    total += v;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kTxns));
+  EXPECT_EQ(engine.Stats().commits, static_cast<uint64_t>(kTxns));
+  engine.Stop();
+}
+
+TEST(BohmStreamingTest, WatermarksAreMonotoneAndOrdered) {
+  BohmConfig cfg;
+  cfg.cc_threads = 3;
+  cfg.exec_threads = 2;
+  cfg.batch_size = 5;
+  cfg.pipeline_depth = 4;
+  BohmEngine engine(OneTable(32), cfg);
+  uint64_t zero = 0;
+  for (Key k = 0; k < 32; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> exec_regressed{false};
+  std::atomic<bool> cc_regressed{false};
+  std::atomic<bool> order_violated{false};
+  std::thread monitor([&] {
+    int64_t last_exec = INT64_MIN, last_cc = INT64_MIN;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Read exec first: exec <= cc holds for reads in this order because
+      // the exec fold can only admit batches the (monotone) CC fold
+      // already passed.
+      const int64_t e = engine.Watermark();
+      const int64_t c = engine.CcWatermark();
+      if (e < last_exec) exec_regressed.store(true);
+      if (c < last_cc) cc_regressed.store(true);
+      if (e > c) order_violated.store(true);
+      last_exec = e;
+      last_cc = c;
+      std::this_thread::yield();
+    }
+  });
+
+  Rng rng(4242);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(engine
+                    .Submit(std::make_unique<IncrementProcedure>(
+                        0, rng.Uniform(32)))
+                    .ok());
+  }
+  engine.WaitForIdle();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_FALSE(exec_regressed.load()) << "execution watermark regressed";
+  EXPECT_FALSE(cc_regressed.load()) << "CC watermark regressed";
+  EXPECT_FALSE(order_violated.load())
+      << "execution watermark overtook the CC watermark";
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace bohm

@@ -92,13 +92,22 @@ INSTANTIATE_TEST_SUITE_P(
              "_seed" + std::to_string(std::get<1>(param_info.param));
     });
 
-class BohmSeedEquivalence : public ::testing::TestWithParam<uint64_t> {};
+// Bohm is checked at pipeline depths 1, 2 and 8: depth 1 is the serial
+// reference point (one batch in flight, no overlap), depth 2 is the
+// minimal streamed pipeline, depth 8 lets the sequencer and CC stage run
+// well ahead of execution. Equivalence across all three proves the
+// streamed epoch-watermark handoff never lets stage overlap leak into
+// the committed state.
+class BohmSeedEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
 
 TEST_P(BohmSeedEquivalence, PipelineMatchesGoldenReplay) {
+  const auto [seed, depth] = GetParam();
   BohmConfig cfg;
   cfg.cc_threads = 3;
   cfg.exec_threads = 3;
   cfg.batch_size = 13;
+  cfg.pipeline_depth = depth;
   BohmEngine engine(OneTable(kKeys), cfg);
   std::map<Key, uint64_t> golden;
   uint64_t zero = 0;
@@ -107,7 +116,7 @@ TEST_P(BohmSeedEquivalence, PipelineMatchesGoldenReplay) {
     golden[k] = 0;
   }
   ASSERT_TRUE(engine.Start().ok());
-  Rng rng(GetParam());
+  Rng rng(seed);
   for (int i = 0; i < kTxns; ++i) {
     ASSERT_TRUE(engine.Submit(NextTxn(rng, golden)).ok());
   }
@@ -115,13 +124,19 @@ TEST_P(BohmSeedEquivalence, PipelineMatchesGoldenReplay) {
   for (Key k = 0; k < kKeys; ++k) {
     uint64_t v = 0;
     ASSERT_TRUE(engine.ReadLatest(0, k, &v).ok());
-    EXPECT_EQ(v, golden[k]) << "key " << k;
+    EXPECT_EQ(v, golden[k]) << "depth " << depth << " key " << k;
   }
   engine.Stop();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, BohmSeedEquivalence,
-                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDepths, BohmSeedEquivalence,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u, 55u),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             "_depth" + std::to_string(std::get<1>(param_info.param));
+    });
 
 // Cross-check: all five engines end in the same state for the same
 // stream (single-threaded).
@@ -150,9 +165,11 @@ TEST(SerialEquivalenceTest, AllEnginesAgree) {
     }
   }
 
-  // Bohm, same stream.
-  {
+  // Bohm, same stream, once per pipeline depth — the streamed handoff
+  // must agree with the executor engines at every depth.
+  for (uint32_t depth : {1u, 2u, 8u}) {
     BohmConfig cfg;
+    cfg.pipeline_depth = depth;
     BohmEngine engine(OneTable(kKeys), cfg);
     uint64_t zero = 0;
     for (Key k = 0; k < kKeys; ++k) ASSERT_TRUE(engine.Load(0, k, &zero).ok());
@@ -166,12 +183,12 @@ TEST(SerialEquivalenceTest, AllEnginesAgree) {
     for (Key k = 0; k < kKeys; ++k) {
       uint64_t v = 0;
       ASSERT_TRUE(engine.ReadLatest(0, k, &v).ok());
-      finals["Bohm"][k] = v;
+      finals["Bohm_depth" + std::to_string(depth)][k] = v;
     }
     engine.Stop();
   }
 
-  ASSERT_EQ(finals.size(), 5u);
+  ASSERT_EQ(finals.size(), 7u);
   const auto& reference = finals.begin()->second;
   for (const auto& [name, state] : finals) {
     EXPECT_EQ(state, reference) << name << " diverged";

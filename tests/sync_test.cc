@@ -163,6 +163,76 @@ TEST(CyclicBarrierTest, SingleParticipantNeverBlocks) {
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(barrier.ArriveAndWait());
 }
 
+// ---------------------------------------------------------------------------
+// WatermarkSet — the epoch-watermark fold behind the streamed Bohm
+// pipeline handoff (per-thread Advance, cross-stage Min admission).
+// ---------------------------------------------------------------------------
+
+TEST(WatermarkSetTest, StartsAtInitialValue) {
+  WatermarkSet w(3);
+  EXPECT_EQ(w.threads(), 3u);
+  for (uint32_t t = 0; t < 3; ++t) EXPECT_EQ(w.Get(t), -1);
+  EXPECT_EQ(w.Min(), -1);
+  WatermarkSet w2(2, 7);
+  EXPECT_EQ(w2.Min(), 7);
+}
+
+TEST(WatermarkSetTest, MinFoldTracksTheLaggingThread) {
+  // The fold is the admission gate: a single lagging thread must hold
+  // the minimum regardless of how far its peers run ahead.
+  WatermarkSet w(4);
+  w.Advance(0, 10);
+  w.Advance(1, 10);
+  w.Advance(2, 10);
+  EXPECT_EQ(w.Min(), -1) << "thread 3 never advanced";
+  w.Advance(3, 2);
+  EXPECT_EQ(w.Min(), 2) << "thread 3 is the laggard";
+  w.Advance(3, 10);
+  EXPECT_EQ(w.Min(), 10);
+  w.Advance(0, 11);
+  EXPECT_EQ(w.Min(), 10) << "min moves only when the slowest moves";
+}
+
+TEST(WatermarkSetTest, PerThreadGetIsMonotone) {
+  WatermarkSet w(2);
+  for (int64_t v = 0; v < 100; ++v) {
+    w.Advance(0, v);
+    EXPECT_EQ(w.Get(0), v);
+    EXPECT_EQ(w.Get(1), -1);
+  }
+}
+
+TEST(WatermarkSetTest, AdvancePublishesPrecedingWrites) {
+  // TSan-targeted message-passing litmus (runs 50x seeded in the
+  // tsan-stress CI job) mirroring the pipeline's rule: a CC thread's
+  // plain writes (placeholder insertion, read annotation) must be visible
+  // to any thread that observed its watermark pass the batch — Advance is
+  // a release store, Get/Min are acquire loads, and that edge is the ONLY
+  // thing making the payload read below race-free.
+  constexpr int64_t kRounds = 20'000;
+  WatermarkSet w(2);
+  std::vector<uint64_t> payload(static_cast<size_t>(kRounds), 0);
+  std::thread producer([&] {
+    for (int64_t r = 0; r < kRounds; ++r) {
+      payload[static_cast<size_t>(r)] = static_cast<uint64_t>(r) * 3 + 1;
+      w.Advance(0, r);
+    }
+  });
+  std::thread min_observer([&] {
+    // Exercises the fold path too: Min() over {producer, self}.
+    for (int64_t r = 0; r < kRounds; ++r) {
+      w.Advance(1, r);
+      while (w.Min() < r) std::this_thread::yield();
+      ASSERT_EQ(payload[static_cast<size_t>(r)],
+                static_cast<uint64_t>(r) * 3 + 1)
+          << "payload write was not ordered before Advance";
+    }
+  });
+  producer.join();
+  min_observer.join();
+  EXPECT_EQ(w.Min(), kRounds - 1);
+}
+
 TEST(AffinityTest, HardwareConcurrencyPositive) {
   EXPECT_GE(HardwareConcurrency(), 1u);
 }
