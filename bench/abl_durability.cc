@@ -1,0 +1,93 @@
+// Ablation: durability cost. The paper logs batches of transactions
+// before execution (the sequenced input stream is the recovery log,
+// Section 2.3) and argues the cost is small because logging is
+// sequential, batched, and off the critical path. This sweep quantifies
+// that claim on the high-contention 10RMW workload: no log at all, then
+// asynchronous logging (fsync=none), then increasingly eager durability
+// (group commit, fsync per batch), with the durable-ack gate on — so the
+// fsync columns price "no acknowledged commit is ever lost".
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_common.h"
+
+using namespace bohm;
+using namespace bohm::bench;
+
+namespace {
+
+struct Mode {
+  const char* label;
+  bool enabled;
+  FsyncPolicy policy;
+  uint32_t group_size;
+};
+
+std::string FreshLogDir(const char* label) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("bohm_abl_durability_") + label);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+}  // namespace
+
+int main() {
+  YcsbConfig cfg;
+  cfg.record_count = BenchRecords(100'000);
+  cfg.record_size = 1000;
+  cfg.theta = 0.9;
+  const DriverOptions opt = BenchDriverOptions();
+  const int threads = BenchThreads().back();
+  auto fn = [](YcsbGenerator& gen) {
+    return gen.Make(YcsbGenerator::TxnType::k10Rmw);
+  };
+
+  const Mode kModes[] = {
+      {"nolog", false, FsyncPolicy::kNone, 0},
+      {"fsync=none", true, FsyncPolicy::kNone, 0},
+      {"fsync=group8", true, FsyncPolicy::kGroup, 8},
+      {"fsync=batch", true, FsyncPolicy::kBatch, 0},
+  };
+
+  Report report(
+      "Ablation: durable sequencer log (YCSB 10RMW, 1000B, theta=0.9)",
+      {"mode", "throughput (txns/s)", "p99(us)", "log MB/s", "fsyncs/s",
+       "log stall (ms)"});
+  JsonReport json("abl_durability");
+
+  for (const Mode& m : kModes) {
+    BohmConfig bcfg = BohmSplit(static_cast<uint32_t>(threads));
+    std::string dir;
+    if (m.enabled) {
+      dir = FreshLogDir(m.label);
+      bcfg.durability.enabled = true;
+      bcfg.durability.dir = dir;
+      bcfg.durability.fsync_policy = m.policy;
+      if (m.group_size != 0) bcfg.durability.group_size = m.group_size;
+    }
+    BenchResult r = YcsbBohmPoint(cfg, 0, fn, opt, &bcfg);
+    report.AddRow(
+        {m.label, Report::FormatTput(r.Throughput()),
+         std::to_string(r.P99Us()),
+         Report::FormatDouble(
+             static_cast<double>(r.log_bytes) / (1e6 * r.seconds), 1),
+         Report::FormatDouble(static_cast<double>(r.log_fsyncs) / r.seconds,
+                              1),
+         Report::FormatDouble(static_cast<double>(r.log_stall_ns) / 1e6,
+                              1)});
+    json.AddPoint(
+        {{"mode", m.label}, {"threads", std::to_string(threads)}}, "Bohm",
+        r);
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+  }
+  report.Print();
+  json.Write();
+  std::printf(
+      "\nExpected: fsync=none within noise of nolog (the log writer rides "
+      "a dedicated thread and the sequencer only pays an SPSC push); group "
+      "commit costs a few percent; fsync-per-batch is bounded by the "
+      "device's sync latency, which the stall column attributes.\n");
+  return 0;
+}

@@ -8,7 +8,11 @@
 #   - the per-stage pipeline stall attribution of the streamed handoff:
 #     seq_stall_us / cc_stall_us / exec_stall_us present and >= 0
 #     (guards the stall accounting path, stage counters -> snapshot
-#     delta -> JSON).
+#     delta -> JSON), and
+#   - the durable-log accounting: log_stall_us and fsyncs present and
+#     >= 0 on every Bohm point (zero when the bench runs without
+#     durability — the keys must still be emitted so the ablation JSON
+#     stays line-compatible).
 #
 # When BOHM_SMOKE_MIN_TPUT > 0 (CTest sets it on Release builds only —
 # sanitizer and debug presets run an order of magnitude slower), the
@@ -44,6 +48,7 @@ awk -v min_tput="$min_tput" '
     bohm++
     lat_count = p50 = p99 = p999 = -1
     seq_stall = cc_stall = exec_stall = -1
+    log_stall = fsyncs = -1
     threads = tput = -1
     # Strip JSON punctuation up front so values quoted as strings (the
     # swept parameters, e.g. "threads": "1") parse numerically too.
@@ -56,6 +61,8 @@ awk -v min_tput="$min_tput" '
       if ($i == "seq_stall_us") seq_stall = $(i + 1) + 0
       if ($i == "cc_stall_us") cc_stall = $(i + 1) + 0
       if ($i == "exec_stall_us") exec_stall = $(i + 1) + 0
+      if ($i == "log_stall_us") log_stall = $(i + 1) + 0
+      if ($i == "fsyncs") fsyncs = $(i + 1) + 0
       if ($i == "threads") threads = $(i + 1) + 0
       if ($i == "tput_txns_per_sec") tput = $(i + 1) + 0
     }
@@ -71,6 +78,11 @@ awk -v min_tput="$min_tput" '
     if (seq_stall < 0 || cc_stall < 0 || exec_stall < 0) {
       print "FAIL: Bohm point missing stall attribution (seq " seq_stall \
             ", cc " cc_stall ", exec " exec_stall "): " $0
+      bad++
+    }
+    if (log_stall < 0 || fsyncs < 0) {
+      print "FAIL: Bohm point missing durable-log accounting (log_stall_us " \
+            log_stall ", fsyncs " fsyncs "): " $0
       bad++
     }
     if (threads == 1 && tput > best_1t) best_1t = tput

@@ -12,7 +12,7 @@ set -euo pipefail
 root=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-$root/build}
 
-benches=(fig5_ycsb_10rmw fig7_theta_sweep)
+benches=(fig5_ycsb_10rmw fig7_theta_sweep abl_durability)
 
 for b in "${benches[@]}"; do
   bin="$build/$b"
@@ -22,10 +22,21 @@ for b in "${benches[@]}"; do
   fi
 done
 
+# Write each snapshot to a temp file and mv it into place: an interrupted
+# or crashed bench run must never leave a truncated BENCH_*.json behind
+# for git to commit as if it were a real measurement.
 for b in "${benches[@]}"; do
   out="$root/BENCH_$b.json"
+  tmp=$(mktemp "$out.XXXXXX.tmp")
+  trap 'rm -f "$tmp"' EXIT
   echo "== $b -> $out"
-  BOHM_BENCH_JSON="$out" "$build/$b"
+  BOHM_BENCH_JSON="$tmp" "$build/$b"
+  if [[ ! -s "$tmp" ]]; then
+    echo "FAIL: $b wrote no JSON" >&2
+    exit 1
+  fi
+  mv "$tmp" "$out"
+  trap - EXIT
 done
 
 echo "Snapshots written. Review and commit the BENCH_*.json diffs."

@@ -23,6 +23,13 @@ relaxed atomics freely in scaffolding):
    same bytes without a stated exclusion argument is how the original
    tsan.supp entries were born.
 
+4. raw-io — raw durability syscalls (`fsync`, `fdatasync`, `::write`,
+   `pwrite`, `ftruncate`, ...) are confined to src/log/ (rule R6,
+   docs/CONCURRENCY.md and docs/DURABILITY.md): the durable-watermark
+   ordering argument only covers I/O routed through the LogEnv
+   abstraction, and scattered write paths are also invisible to
+   FaultLogEnv, so the crash matrix could not exercise them.
+
 Exit status 0 when clean; 1 with file:line diagnostics otherwise.
 """
 
@@ -45,6 +52,16 @@ RELAXED_TAG = "relaxed:"
 PLAIN_COPY_RE = re.compile(r"\b(?:std::)?(?:memcpy|memmove|memset)\s*\(")
 PLAIN_COPY_FIELD_RE = re.compile(r"\bpayload\s*\(\s*\)")
 PLAIN_COPY_TAG = "plain-copy:"
+
+# Raw durability syscalls. `write` is matched only in its `::write(...)`
+# spelling (the codebase idiom for the syscall) so that TxnOps::Write,
+# prose like "write-write", and fopen/fprintf stay out of scope.
+RAW_IO_RE = re.compile(
+    r"(?:\b(?:fsync|fdatasync|pwrite|pread|ftruncate)\s*\("
+    r"|\b(?:O_DIRECT|O_SYNC)\b"
+    r"|::\s*write\s*\()"
+)
+RAW_IO_ALLOWED = "log"  # src/log/ owns the durable write path
 
 # tsan.supp entry: "<type>:<pattern>" (see TSan SuppressionTypes).
 SUPP_ENTRY_RE = re.compile(
@@ -94,6 +111,20 @@ def check_plain_copy(path: Path, lines: list[str], errors: list[str]) -> None:
             )
 
 
+def check_raw_io(path: Path, lines: list[str], errors: list[str]) -> None:
+    rel = path.relative_to(SRC)
+    if rel.parts and rel.parts[0] == RAW_IO_ALLOWED:
+        return
+    for i, line in enumerate(lines):
+        if RAW_IO_RE.search(line):
+            errors.append(
+                f"{path.relative_to(REPO)}:{i + 1}: raw durability I/O "
+                f"outside src/{RAW_IO_ALLOWED}/ — route it through LogEnv "
+                f"(rule R6; keeps fault injection and the durable-watermark "
+                f"ordering argument complete)"
+            )
+
+
 def check_suppressions(errors: list[str]) -> None:
     if not SUPP.exists():
         return
@@ -136,6 +167,7 @@ def main() -> int:
         lines = path.read_text().splitlines()
         check_relaxed(path, lines, errors)
         check_plain_copy(path, lines, errors)
+        check_raw_io(path, lines, errors)
     check_suppressions(errors)
     if errors:
         print(f"lint_concurrency: {len(errors)} violation(s)", file=sys.stderr)

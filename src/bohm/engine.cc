@@ -5,6 +5,7 @@
 #include "common/affinity.h"
 #include "common/hash.h"
 #include "common/spin.h"
+#include "log/log_reader.h"
 
 namespace bohm {
 
@@ -43,6 +44,22 @@ BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
   for (uint32_t i = 0; i < cfg_.exec_threads; ++i) {
     exec_feed_.push_back(std::make_unique<SpscQueue<int64_t>>(feed_capacity));
     exec_stall_.push_back(std::make_unique<StallSlot>());
+    exec_log_stall_.push_back(std::make_unique<StallSlot>());
+  }
+  if (cfg_.durability.enabled) {
+    LogEnv* env = cfg_.durability.env != nullptr ? cfg_.durability.env
+                                                 : LogEnv::Default();
+    log_ = std::make_unique<BatchLog>(cfg_.durability.dir, env,
+                                      cfg_.durability.segment_bytes);
+    LogWriterOptions opts;
+    opts.policy = cfg_.durability.fsync_policy;
+    opts.group_size =
+        cfg_.durability.group_size == 0 ? 1 : cfg_.durability.group_size;
+    opts.interval_us = cfg_.durability.interval_us;
+    opts.queue_capacity = NextPow2(cfg_.durability.writer_queue_capacity < 2
+                                       ? 2
+                                       : cfg_.durability.writer_queue_capacity);
+    log_writer_ = std::make_unique<LogWriter>(log_.get(), opts);
   }
 }
 
@@ -74,9 +91,34 @@ Status BohmEngine::Load(TableId table, Key key, const void* payload) {
 }
 
 Status BohmEngine::Start() {
+  if (cfg_.durability.enabled && !recovered_) {
+    // A pre-existing log means there is committed history on disk.
+    // Starting fresh would restart seqnos and silently fork that history;
+    // the caller must either Recover() or point at a clean directory.
+    LogEnv* env = cfg_.durability.env != nullptr ? cfg_.durability.env
+                                                 : LogEnv::Default();
+    std::vector<std::string> names;
+    Status st = env->ListDir(cfg_.durability.dir, &names);
+    if (st.ok()) {
+      for (const std::string& name : names) {
+        uint64_t first;
+        if (ParseSegmentFileName(name, &first)) {
+          return Status::FailedPrecondition(
+              "durable log directory is not empty — call Recover() instead "
+              "of Start()");
+        }
+      }
+    } else if (!st.IsNotFound()) {
+      return st;
+    }
+  }
   bool expected = false;
   if (!started_.compare_exchange_strong(expected, true)) {
     return Status::FailedPrecondition("already started");
+  }
+  if (log_ != nullptr) {
+    BOHM_RETURN_NOT_OK(log_->Open());
+    log_writer_->Start();
   }
   const bool pin =
       cfg_.pin_threads &&
@@ -113,26 +155,81 @@ void BohmEngine::Stop() {
   }
   for (auto& t : threads_) t.join();
   threads_.clear();
+  // The sequencer (the writer's only producer) has joined, so the ring
+  // receives nothing more: Stop drains what is enqueued, issues the final
+  // sync, and closes the segment — a clean shutdown leaves a fully
+  // durable log even with unflushed group-commit buffers.
+  if (log_writer_ != nullptr) log_writer_->Stop();
   stopped_.store(true, std::memory_order_release);
 }
 
-Status BohmEngine::Submit(ProcedurePtr proc) {
+// Graceful rejection, never a crash: a transaction the engine cannot take
+// (wrong engine state, degraded log, un-replayable or malformed footprint)
+// comes back as kRejected and the pipeline is untouched. The sequencer can
+// then assume every dequeued transaction is well-formed — the bad-table
+// check here is what keeps a stray table id from dereferencing a null
+// BohmTable inside the pipeline.
+Status BohmEngine::CheckSubmit(const StoredProcedure* proc) const {
   if (!started_.load(std::memory_order_acquire) ||
       stopping_.load(std::memory_order_acquire)) {
-    return Status::FailedPrecondition("engine not running");
+    return Status::Rejected("engine not running");
+  }
+  if (log_degraded()) {
+    return Status::Rejected("durable log failed; engine is degraded");
   }
   if (proc == nullptr) return Status::InvalidArgument("null procedure");
+  if (cfg_.durability.enabled && proc->codec_id() == kNotLoggable) {
+    // Read-only procedures are admitted but simply absent from the log
+    // (skipping them on replay cannot change state); anything that writes
+    // must be reproducible from bytes.
+    if (!proc->rwset().writes().empty()) {
+      return Status::Rejected(
+          "procedure writes but has no log codec; a durable engine cannot "
+          "accept transactions it could not replay");
+    }
+  }
+  const ReadWriteSet& set = proc->rwset();
+  auto known_table = [this](TableId t) {
+    return static_cast<size_t>(t) < record_sizes_.size() &&
+           record_sizes_[t] != 0;
+  };
+  for (const RecordId& rec : set.writes()) {
+    if (!known_table(rec.table)) {
+      return Status::Rejected("write-set references unknown table");
+    }
+  }
+  for (const RecordId& rec : set.reads()) {
+    if (!known_table(rec.table)) {
+      return Status::Rejected("read-set references unknown table");
+    }
+  }
+  // Duplicate write-set keys would give one transaction two placeholder
+  // versions of the same record. Quadratic scan, so only for footprints
+  // small enough that it stays cheap (covers every realistic OLTP txn;
+  // the paper's workloads have <= 10 writes).
+  const auto& writes = set.writes();
+  if (writes.size() <= 64) {
+    for (size_t i = 0; i < writes.size(); ++i) {
+      for (size_t j = i + 1; j < writes.size(); ++j) {
+        if (writes[i].table == writes[j].table &&
+            writes[i].key == writes[j].key) {
+          return Status::Rejected("duplicate key in write set");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BohmEngine::Submit(ProcedurePtr proc) {
+  BOHM_RETURN_NOT_OK(CheckSubmit(proc.get()));
   submitted_.fetch_add(1, std::memory_order_acq_rel);
   input_.Push(InputItem{proc.release(), /*owned=*/true, MonotonicNanos()});
   return Status::OK();
 }
 
 Status BohmEngine::SubmitBorrowed(StoredProcedure* proc) {
-  if (!started_.load(std::memory_order_acquire) ||
-      stopping_.load(std::memory_order_acquire)) {
-    return Status::FailedPrecondition("engine not running");
-  }
-  if (proc == nullptr) return Status::InvalidArgument("null procedure");
+  BOHM_RETURN_NOT_OK(CheckSubmit(proc));
   submitted_.fetch_add(1, std::memory_order_acq_rel);
   input_.Push(InputItem{proc, /*owned=*/false, MonotonicNanos()});
   return Status::OK();
@@ -162,6 +259,13 @@ StatsSnapshot BohmEngine::Stats() const {
   s.seq_stall_ns = seq_stall_.ns.Get();
   for (const auto& st : cc_stall_) s.cc_stall_ns += st->ns.Get();
   for (const auto& st : exec_stall_) s.exec_stall_ns += st->ns.Get();
+  s.log_stall_ns = seq_log_stall_.ns.Get();
+  for (const auto& st : exec_log_stall_) s.log_stall_ns += st->ns.Get();
+  if (log_writer_ != nullptr) {
+    s.log_bytes = log_writer_->bytes_written();
+    s.log_records = log_writer_->records();
+    s.log_fsyncs = log_writer_->fsyncs();
+  }
   return s;
 }
 
@@ -169,6 +273,58 @@ uint64_t BohmEngine::gc_freed_versions() const {
   uint64_t n = 0;
   for (const auto& s : cc_state_) n += s->freed.Get();
   return n;
+}
+
+Status BohmEngine::Recover() {
+  if (!cfg_.durability.enabled) {
+    return Status::FailedPrecondition("Recover without durability enabled");
+  }
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("Recover after Start");
+  }
+  LogEnv* env = cfg_.durability.env != nullptr ? cfg_.durability.env
+                                               : LogEnv::Default();
+  std::vector<ReplayedBatch> batches;
+  LogScanStats scan;
+  BOHM_RETURN_NOT_OK(ReadBatchLog(cfg_.durability.dir, env, &batches, &scan));
+  recovery_stats_ = RecoveryStats{};
+  recovery_stats_.batches = scan.records;
+  recovery_stats_.txns = scan.txns;
+  recovery_stats_.segments = scan.segments;
+  recovery_stats_.tail_truncated = scan.tail_truncated;
+  recovery_stats_.truncated_bytes = scan.truncated_bytes;
+  recovery_stats_.tail_detail = scan.tail_detail;
+  recovery_stats_.last_seqno = batches.empty() ? 0 : batches.back().seqno;
+
+  // Replay mode: the pipeline runs normally but nothing is re-logged and
+  // execution is not gated on durability (the batches being replayed are
+  // durable by definition). The release back to false below is what
+  // publishes log_base_ to the pipeline threads (rule R6).
+  replaying_.store(true, std::memory_order_release);
+  recovered_ = true;  // lets Start() past its nonempty-directory check
+  Status started = Start();
+  if (!started.ok()) {
+    replaying_.store(false, std::memory_order_release);
+    return started;
+  }
+  for (ReplayedBatch& batch : batches) {
+    for (ProcedurePtr& proc : batch.txns) {
+      BOHM_RETURN_NOT_OK(Submit(std::move(proc)));
+    }
+  }
+  WaitForIdle();
+  batches.clear();
+
+  // Deterministic replay note: recovery re-*sequences* rather than
+  // re-using the old batch boundaries, which is legal precisely because
+  // the replay above preserved the total order — only the (seqno, batch
+  // id) correspondence moved. Re-anchor it: the next sealed batch
+  // (last_sealed_batch + 1) must get seqno last_seqno + 1.
+  const int64_t sealed = last_sealed_batch();
+  const uint64_t last_seqno = recovery_stats_.last_seqno;
+  log_base_ = last_seqno + 1 - static_cast<uint64_t>(sealed + 1);
+  replaying_.store(false, std::memory_order_release);
+  return Status::OK();
 }
 
 Status BohmEngine::ReadLatest(TableId table, Key key, void* out) const {

@@ -34,6 +34,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,9 +47,45 @@
 #include "bohm/table.h"
 #include "bohm/txn_state.h"
 #include "bohm/version.h"
+#include "log/batch_log.h"
+#include "log/log_writer.h"
 #include "storage/schema.h"
 
 namespace bohm {
+
+/// Durable-log configuration (docs/DURABILITY.md). Bohm's recovery story
+/// is the input log itself: because execution is deterministic in the
+/// sequenced order, persisting each sealed batch (seqno + encoded
+/// transactions) is a complete redo log — no ARIES, no per-write logging.
+struct DurabilityConfig {
+  bool enabled = false;
+  /// Directory for segment files (created if missing).
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroup;
+  uint32_t group_size = 8;     // kGroup: records per fsync
+  uint64_t interval_us = 1000; // kInterval: max time between fsyncs
+  uint64_t segment_bytes = 64ull << 20;
+  /// When true (the default), execution of a batch waits until the batch
+  /// is durable per the fsync policy, so a commit acknowledgement implies
+  /// the transaction survives a crash ("no acked commit is ever lost").
+  /// When false, logging is asynchronous book-keeping only.
+  bool durable_ack = true;
+  size_t writer_queue_capacity = 256;  // sequencer->writer ring (pow2)
+  /// File-system indirection; nullptr means the real one. Tests inject
+  /// FaultLogEnv here.
+  LogEnv* env = nullptr;
+};
+
+/// What Recover() found and repaired (test/monitoring observable).
+struct RecoveryStats {
+  uint64_t batches = 0;        ///< durable batches replayed
+  uint64_t txns = 0;           ///< transactions replayed
+  uint64_t segments = 0;       ///< segment files scanned
+  bool tail_truncated = false; ///< a torn/corrupt tail was dropped
+  uint64_t truncated_bytes = 0;
+  std::string tail_detail;
+  uint64_t last_seqno = 0;     ///< highest durable seqno (0: empty log)
+};
 
 struct BohmConfig {
   /// m: concurrency-control threads (each owns a hash partition of every
@@ -82,6 +119,8 @@ struct BohmConfig {
   /// whose partitions it touches, so CC threads skip foreign transactions
   /// without scanning their read/write sets. Requires cc_threads <= 64.
   bool interest_preprocessing = true;
+  /// Durable sequencer log + crash recovery (docs/DURABILITY.md).
+  DurabilityConfig durability;
 };
 
 /// Test-only observation/freeze points inside the pipeline threads. Every
@@ -113,8 +152,30 @@ class BohmEngine {
   /// before Start(); single-threaded.
   Status Load(TableId table, Key key, const void* payload);
 
-  /// Spawns the sequencer, CC, and execution threads.
+  /// Spawns the sequencer, CC, and execution threads. With durability
+  /// enabled, also opens the log and starts the log-writer thread; fails
+  /// with FailedPrecondition if the log directory already holds segments
+  /// and Recover() was not called first (silently continuing would fork
+  /// the seqno history).
   Status Start();
+
+  /// Crash recovery: scans the durable log (repairing a torn or
+  /// checksum-failing tail by truncation), starts the engine, and replays
+  /// every durable batch through the full pipeline in original sequenced
+  /// order — determinism makes the result byte-equivalent to the
+  /// pre-crash state. Call instead of Start(), after Load()ing the same
+  /// initial records as the original run; the engine is running (and
+  /// logging new batches) when this returns. Stats in recovery_stats().
+  Status Recover();
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// True once the durable-log writer has hit an I/O error: logging has
+  /// stopped, already-acknowledged commits remain durable, and Submit
+  /// rejects new work (the engine is degraded, not wrong).
+  bool log_degraded() const {
+    return log_writer_ != nullptr && log_writer_->failed();
+  }
 
   /// Drains all submitted transactions and joins every engine thread.
   /// Idempotent; also run by the destructor.
@@ -124,6 +185,13 @@ class BohmEngine {
   /// input queue is full. The engine assumes ownership and destroys the
   /// procedure some time after it completes (when its batch slot is
   /// recycled) — do not retain pointers into it.
+  ///
+  /// Returns Rejected (never crashes the engine) when the transaction
+  /// cannot be accepted: engine not running or shutting down, durable log
+  /// degraded, a non-loggable procedure under durability, or a malformed
+  /// footprint (unknown table, duplicate write-set keys). On rejection
+  /// ownership stays rejected-side semantics: the procedure is destroyed
+  /// (it was moved in) and nothing was enqueued.
   Status Submit(ProcedurePtr proc);
 
   /// Non-owning variant for procedures whose results the caller wants to
@@ -192,6 +260,12 @@ class BohmEngine {
   // --- sequencer stage (sequencer.cc) ---
   void SequencerLoop();
   void SealBatch(Batch* batch, int64_t id);
+  /// Encodes + hands the sealed batch to the log writer (sequencer thread
+  /// only; no-op while replaying).
+  void LogSealedBatch(const Batch& batch, int64_t id);
+
+  /// Shared admission checks for Submit/SubmitBorrowed.
+  Status CheckSubmit(const StoredProcedure* proc) const;
 
   // --- concurrency-control stage (cc_worker.cc) ---
   void CcLoop(uint32_t cc_id);
@@ -239,6 +313,27 @@ class BohmEngine {
   std::vector<std::unique_ptr<StallSlot>> cc_stall_;
   std::vector<std::unique_ptr<StallSlot>> exec_stall_;
   std::shared_ptr<const BohmTestHooks> hooks_;
+
+  /// Durable-log state (null when durability is off). Declaration order
+  /// matters: the writer references the log, so it is declared after it
+  /// (destroyed first).
+  std::unique_ptr<BatchLog> log_;
+  std::unique_ptr<LogWriter> log_writer_;
+  StallSlot seq_log_stall_;  ///< sequencer blocked on the writer ring
+  /// Per-exec-thread durable-ack wait (rule R6 gate).
+  std::vector<std::unique_ptr<StallSlot>> exec_log_stall_;
+  /// True while Recover() is pushing the old log back through the
+  /// pipeline: suppresses re-logging and the durable-ack gate. The
+  /// release store back to false publishes log_base_ (rule R6).
+  std::atomic<bool> replaying_{false};
+  /// seqno of batch id b is log_base_ + b; seqno 0 is reserved. Written
+  /// by Recover() before replaying_ returns to false; read by the
+  /// sequencer and exec threads only when replaying_ is false.
+  uint64_t log_base_ = 1;
+  bool recovered_ = false;  // Recover() ran (gates Start's nonempty check)
+  RecoveryStats recovery_stats_;
+  /// Sequencer-private scratch for batch payload encoding.
+  std::vector<const StoredProcedure*> log_txn_scratch_;
 
   std::vector<std::thread> threads_;
   std::atomic<bool> started_{false};

@@ -96,6 +96,27 @@ void BohmEngine::ExecLoop(uint32_t exec_id) {
       stall.ns.Inc(MonotonicNanos() - stall_start);
     }
 
+    // Durable-ack gate (docs/CONCURRENCY.md rule R6): a batch may execute
+    // — and therefore acknowledge commits — only once its log record is
+    // durable, so "acknowledged" always implies "survives a crash". Off
+    // during replay (those batches are durable by definition) and broken
+    // by a writer failure: the engine then degrades to non-durable
+    // execution of in-flight work while Submit rejects anything new,
+    // rather than wedging shutdown on a watermark that will never move.
+    if (log_writer_ != nullptr && cfg_.durability.durable_ack &&
+        !replaying_.load(std::memory_order_acquire)) {
+      const uint64_t need = log_base_ + static_cast<uint64_t>(b);
+      if (log_writer_->durable_seqno() < need && !log_writer_->failed()) {
+        const uint64_t stall_start = MonotonicNanos();
+        SpinWait wait;
+        while (log_writer_->durable_seqno() < need &&
+               !log_writer_->failed()) {
+          wait.Pause();
+        }
+        exec_log_stall_[exec_id]->ns.Inc(MonotonicNanos() - stall_start);
+      }
+    }
+
     Batch* batch = ring_.Slot(b);
     if (hooks != nullptr && hooks->exec_batch_start) {
       hooks->exec_batch_start(exec_id, b);

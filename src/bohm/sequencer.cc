@@ -9,11 +9,41 @@
 
 #include "common/spin.h"
 #include "bohm/engine.h"
+#include "log/codec.h"
 
 namespace bohm {
 
+// Hands the sealed batch to the log-writer thread (sequencer thread
+// only). Runs *before* the batch is announced to the pipeline so the
+// writer sees records in exactly seal order; the only wait here is ring
+// back-pressure, attributed to the log stall counter. Every sealed batch
+// gets a record — even one whose transactions are all non-loggable
+// read-only observers produces an (empty) record, because the durable-ack
+// gate in ExecLoop waits for seqno log_base_ + id and seqnos must stay
+// dense for the recovery scan.
+void BohmEngine::LogSealedBatch(const Batch& batch, int64_t id) {
+  if (log_writer_ == nullptr) return;
+  if (replaying_.load(std::memory_order_acquire)) return;
+  // Degraded mode: the log is dead, Submit is already rejecting; batches
+  // still in flight execute without durability rather than wedging.
+  if (log_writer_->failed()) return;
+  log_txn_scratch_.clear();
+  for (const BohmTxn* txn : batch.txns) {
+    if (txn->proc->codec_id() != kNotLoggable) {
+      log_txn_scratch_.push_back(txn->proc);
+    }
+  }
+  std::string payload;
+  EncodeBatchPayload(&payload, log_txn_scratch_);
+  const uint64_t stall_ns =
+      log_writer_->Append(log_base_ + static_cast<uint64_t>(id),
+                          std::move(payload));
+  if (stall_ns != 0) seq_log_stall_.ns.Inc(stall_ns);
+}
+
 void BohmEngine::SealBatch(Batch* batch, int64_t id) {
   batch->id = id;
+  LogSealedBatch(*batch, id);
   // Publish the sealed batch by announcing its id through every
   // consumer's SPSC feed ring: the ring's release store is what makes the
   // slot contents the sequencer just wrote visible to that consumer

@@ -166,6 +166,17 @@ class SpscQueue {
     return true;
   }
 
+  /// Producer-side fullness probe (exact from the producer thread). Lets
+  /// a producer wait for space without constructing the value it would
+  /// push — TryPush consumes its argument even on failure.
+  bool Full() const {
+    // relaxed: producer-owned index (see TryPush); the acquire on head_
+    // pairs with the consumer's release advance.
+    return tail_.load(std::memory_order_relaxed) -
+               head_.load(std::memory_order_acquire) >=
+           capacity_;
+  }
+
   /// Consumer-side emptiness probe (exact from the consumer thread).
   bool Empty() const {
     // relaxed: consumer-owned index (see TryPop).

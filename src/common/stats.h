@@ -87,6 +87,13 @@ struct StatsSnapshot {
   uint64_t seq_stall_ns = 0;   ///< sequencer waiting for slot reuse
   uint64_t cc_stall_ns = 0;    ///< CC threads waiting for sealed batches
   uint64_t exec_stall_ns = 0;  ///< exec threads waiting for feed/CC watermark
+  /// Durable-log accounting (zero when durability is off). Monotone, like
+  /// the stall counters, so a measurement window is the snapshot delta.
+  uint64_t log_stall_ns = 0;  ///< pipeline time blocked on the log
+                              ///< (sequencer handoff + durable-ack waits)
+  uint64_t log_bytes = 0;     ///< bytes appended to the log
+  uint64_t log_records = 0;   ///< batch records appended
+  uint64_t log_fsyncs = 0;    ///< fsync calls issued by the log writer
 
   double AbortRate() const {
     uint64_t attempts = commits + cc_aborts;

@@ -20,6 +20,8 @@ const char* CodeName(Code code) {
       return "ResourceExhausted";
     case Code::kInternal:
       return "Internal";
+    case Code::kRejected:
+      return "Rejected";
   }
   return "Unknown";
 }

@@ -19,6 +19,7 @@ enum class Code : unsigned char {
   kFailedPrecondition,  // engine in wrong state (e.g. Submit after Stop)
   kResourceExhausted,   // fixed-capacity structure is full
   kInternal,            // invariant violation inside the engine
+  kRejected,            // engine declined the request (shut down / degraded)
 };
 
 /// Returns a stable human-readable name for a code ("Ok", "Aborted", ...).
@@ -50,6 +51,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Rejected(std::string msg = "") {
+    return Status(Code::kRejected, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsAborted() const { return code_ == Code::kAborted; }
@@ -62,6 +66,7 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsRejected() const { return code_ == Code::kRejected; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -34,6 +34,10 @@ BenchResult Window(const StatsSnapshot& before, const StatsSnapshot& after,
   r.seq_stall_ns = after.seq_stall_ns - before.seq_stall_ns;
   r.cc_stall_ns = after.cc_stall_ns - before.cc_stall_ns;
   r.exec_stall_ns = after.exec_stall_ns - before.exec_stall_ns;
+  r.log_stall_ns = after.log_stall_ns - before.log_stall_ns;
+  r.log_bytes = after.log_bytes - before.log_bytes;
+  r.log_records = after.log_records - before.log_records;
+  r.log_fsyncs = after.log_fsyncs - before.log_fsyncs;
   return r;
 }
 

@@ -52,6 +52,14 @@ struct BenchResult {
   uint64_t seq_stall_ns = 0;
   uint64_t cc_stall_ns = 0;
   uint64_t exec_stall_ns = 0;
+  /// Durable-log accounting over the window (zero with durability off):
+  /// time the pipeline spent blocked on the log (sequencer on the writer
+  /// ring plus execution on the durable-ack gate), and the writer's bytes
+  /// / records / fsyncs.
+  uint64_t log_stall_ns = 0;
+  uint64_t log_bytes = 0;
+  uint64_t log_records = 0;
+  uint64_t log_fsyncs = 0;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(commits) / seconds : 0.0;

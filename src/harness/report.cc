@@ -146,13 +146,17 @@ void JsonReport::Write() const {
         ", \"p50_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
         ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64
         ", \"seq_stall_us\": %.1f, \"cc_stall_us\": %.1f"
-        ", \"exec_stall_us\": %.1f}%s\n",
+        ", \"exec_stall_us\": %.1f, \"log_stall_us\": %.1f"
+        ", \"log_bytes\": %" PRIu64 ", \"log_records\": %" PRIu64
+        ", \"fsyncs\": %" PRIu64 "}%s\n",
         r.seconds, r.commits, r.cc_aborts, r.logic_aborts, r.Throughput(),
         r.AbortRate(), r.latency_us.count(), r.latency_us.Mean(), r.P50Us(),
         r.P99Us(), r.P999Us(), r.latency_us.max(),
         static_cast<double>(r.seq_stall_ns) / 1000.0,
         static_cast<double>(r.cc_stall_ns) / 1000.0,
         static_cast<double>(r.exec_stall_ns) / 1000.0,
+        static_cast<double>(r.log_stall_ns) / 1000.0, r.log_bytes,
+        r.log_records, r.log_fsyncs,
         i + 1 < points_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

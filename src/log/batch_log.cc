@@ -1,0 +1,69 @@
+#include "log/batch_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "log/record.h"
+
+namespace bohm {
+
+std::string SegmentFileName(uint64_t first_seqno) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "log-%020" PRIu64 ".seg", first_seqno);
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* first_seqno) {
+  if (name.size() != 28 || name.compare(0, 4, "log-") != 0 ||
+      name.compare(24, 4, ".seg") != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *first_seqno = v;
+  return true;
+}
+
+Status BatchLog::Open() { return env_->CreateDirIfMissing(dir_); }
+
+Status BatchLog::Append(uint64_t seqno, const std::string& payload) {
+  if (file_ != nullptr && segment_size_ >= segment_bytes_) {
+    BOHM_RETURN_NOT_OK(file_->Sync());  // rotation is a durability point
+    ++fsyncs_;
+    BOHM_RETURN_NOT_OK(file_->Close());
+    file_.reset();
+  }
+  if (file_ == nullptr) {
+    BOHM_RETURN_NOT_OK(
+        env_->NewWritableFile(dir_ + "/" + SegmentFileName(seqno), &file_));
+    segment_size_ = 0;
+  }
+  scratch_.clear();
+  EncodeRecord(&scratch_, seqno, payload);
+  BOHM_RETURN_NOT_OK(file_->Append(scratch_.data(), scratch_.size()));
+  segment_size_ += scratch_.size();
+  bytes_written_ += scratch_.size();
+  ++records_;
+  return Status::OK();
+}
+
+Status BatchLog::Sync() {
+  if (file_ == nullptr) return Status::OK();
+  BOHM_RETURN_NOT_OK(file_->Sync());
+  ++fsyncs_;
+  return Status::OK();
+}
+
+Status BatchLog::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = file_->Close();
+  file_.reset();
+  return st;
+}
+
+}  // namespace bohm

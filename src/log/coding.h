@@ -1,0 +1,72 @@
+// Little-endian fixed-width encoding helpers for the log record format
+// and the procedure codecs. Byte-order is pinned (not host order) so a
+// log written on one machine replays on another.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace bohm {
+
+inline void AppendFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+inline void AppendFixed64(std::string* out, uint64_t v) {
+  AppendFixed32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  AppendFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t DecodeFixed32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const uint8_t* p) {
+  return static_cast<uint64_t>(DecodeFixed32(p)) |
+         (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+}
+
+/// Cursor for decoding a byte span; every Get checks bounds and reports
+/// exhaustion instead of reading past the end (log payloads are untrusted
+/// after a crash — a torn write can leave any prefix).
+class Slice {
+ public:
+  Slice(const uint8_t* data, size_t len) : p_(data), end_(data + len) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  bool GetFixed32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = DecodeFixed32(p_);
+    p_ += 4;
+    return true;
+  }
+
+  bool GetFixed64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = DecodeFixed64(p_);
+    p_ += 8;
+    return true;
+  }
+
+  bool GetBytes(const uint8_t** data, size_t n) {
+    if (remaining() < n) return false;
+    *data = p_;
+    p_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+}  // namespace bohm

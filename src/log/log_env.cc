@@ -1,0 +1,131 @@
+#include "log/log_env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bohm {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  if (errno == ENOSPC) {
+    return Status::ResourceExhausted(std::string(op) + " " + path +
+                                     ": ENOSPC");
+  }
+  if (errno == ENOENT) {
+    return Status::NotFound(std::string(op) + " " + path + ": ENOENT");
+  }
+  return Status::Internal(std::string(op) + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+class PosixLogFile final : public LogWritableFile {
+ public:
+  PosixLogFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixLogFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixLogEnv final : public LogEnv {
+ public:
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return Errno("mkdir", dir);
+  }
+
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Errno("opendir", dir);
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names->push_back(name);
+    }
+    ::closedir(d);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<LogWritableFile>* file) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Errno("open", path);
+    *file = std::make_unique<PosixLogFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    out->clear();
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    char buf[1u << 16];
+    for (;;) {
+      ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Errno("read", path);
+      }
+      if (r == 0) break;
+      out->append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+LogEnv* LogEnv::Default() {
+  static PosixLogEnv env;
+  return &env;
+}
+
+}  // namespace bohm

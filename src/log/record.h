@@ -1,0 +1,83 @@
+// On-disk record format for the durable sequencer log.
+//
+// Each sealed batch becomes one record:
+//
+//   offset  size  field
+//   0       4     magic        0xB0B77A19 ("Bohm log record")
+//   4       4     payload_len  bytes following the header
+//   8       8     seqno        strictly increasing across the whole log
+//   16      4     payload_crc  CRC32C of the payload bytes
+//   20      4     header_crc   CRC32C of bytes [0, 20)
+//   24      ...   payload      see codec.h (txn count + encoded txns)
+//
+// All integers little-endian (coding.h). Two checksums because they fail
+// differently: a bad header_crc means the framing itself is untrustworthy
+// (torn mid-header — length/seqno are garbage, stop scanning); a good
+// header with a bad payload_crc means the frame is intact but the body is
+// torn or flipped. Both are legal only at the tail of the final segment,
+// where recovery truncates them away; anywhere else they are corruption
+// and recovery refuses to proceed (replaying past a hole would silently
+// reorder the deterministic input log).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "log/coding.h"
+#include "log/crc32c.h"
+
+namespace bohm {
+
+constexpr uint32_t kRecordMagic = 0xB0B77A19u;
+constexpr size_t kRecordHeaderSize = 24;
+
+/// Appends a complete framed record (header + payload) to `out`.
+inline void EncodeRecord(std::string* out, uint64_t seqno,
+                         const std::string& payload) {
+  size_t header_at = out->size();
+  AppendFixed32(out, kRecordMagic);
+  AppendFixed32(out, static_cast<uint32_t>(payload.size()));
+  AppendFixed64(out, seqno);
+  AppendFixed32(out, Crc32c(payload.data(), payload.size()));
+  AppendFixed32(out, Crc32c(out->data() + header_at, 20));
+  out->append(payload);
+}
+
+struct RecordHeader {
+  uint32_t payload_len = 0;
+  uint64_t seqno = 0;
+  uint32_t payload_crc = 0;
+};
+
+enum class RecordScan {
+  kOk,            // header valid, payload present and checksummed
+  kTornHeader,    // fewer than kRecordHeaderSize bytes remain
+  kBadHeader,     // magic or header_crc mismatch — framing untrustworthy
+  kTornPayload,   // header valid but payload extends past end of data
+  kBadPayload,    // payload present but fails its CRC
+};
+
+/// Examines the record starting at `data` (with `len` bytes available).
+/// On kOk fills `*hdr`; on kTornPayload/kBadPayload fills `*hdr` too so
+/// the caller can report what was lost.
+inline RecordScan CheckRecord(const uint8_t* data, size_t len,
+                              RecordHeader* hdr) {
+  if (len < kRecordHeaderSize) return RecordScan::kTornHeader;
+  if (DecodeFixed32(data) != kRecordMagic ||
+      DecodeFixed32(data + 20) != Crc32c(data, 20)) {
+    return RecordScan::kBadHeader;
+  }
+  hdr->payload_len = DecodeFixed32(data + 4);
+  hdr->seqno = DecodeFixed64(data + 8);
+  hdr->payload_crc = DecodeFixed32(data + 16);
+  if (len - kRecordHeaderSize < hdr->payload_len) {
+    return RecordScan::kTornPayload;
+  }
+  if (Crc32c(data + kRecordHeaderSize, hdr->payload_len) !=
+      hdr->payload_crc) {
+    return RecordScan::kBadPayload;
+  }
+  return RecordScan::kOk;
+}
+
+}  // namespace bohm

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "log/codec.h"
+
 namespace bohm {
 
 PutProcedure::PutProcedure(TableId table, Key key, uint64_t value)
@@ -12,6 +14,14 @@ PutProcedure::PutProcedure(TableId table, Key key, uint64_t value)
 void PutProcedure::Run(TxnOps& ops) {
   void* buf = ops.Write(table_, key_);
   std::memcpy(buf, &value_, sizeof(value_));
+}
+
+uint32_t PutProcedure::codec_id() const { return kCodecPut; }
+
+void PutProcedure::EncodeArgs(std::string* out) const {
+  AppendFixed32(out, static_cast<uint32_t>(table_));
+  AppendFixed64(out, static_cast<uint64_t>(key_));
+  AppendFixed64(out, value_);
 }
 
 GetProcedure::GetProcedure(TableId table, Key key, uint64_t* out, bool* found)
@@ -37,6 +47,14 @@ void IncrementProcedure::Run(TxnOps& ops) {
   v += delta_;
   void* dst = ops.Write(table_, key_);
   std::memcpy(dst, &v, sizeof(v));
+}
+
+uint32_t IncrementProcedure::codec_id() const { return kCodecIncrement; }
+
+void IncrementProcedure::EncodeArgs(std::string* out) const {
+  AppendFixed32(out, static_cast<uint32_t>(table_));
+  AppendFixed64(out, static_cast<uint64_t>(key_));
+  AppendFixed64(out, delta_);
 }
 
 }  // namespace bohm

@@ -8,11 +8,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "txn/ops.h"
 #include "txn/rwset.h"
 
 namespace bohm {
+
+/// codec_id() value for procedures that cannot be serialized into the
+/// durable log (e.g. they capture out-pointers). An engine running with
+/// durability enabled rejects them at Submit — a transaction the log
+/// cannot reproduce would make replay diverge from the original run.
+inline constexpr uint32_t kNotLoggable = 0;
 
 /// Base class for transactions. Subclasses populate `set_` in their
 /// constructor (the declared footprint) and implement Run().
@@ -34,6 +41,16 @@ class StoredProcedure {
   /// Executes the transaction's logic against an engine-provided accessor.
   virtual void Run(TxnOps& ops) = 0;
 
+  /// Stable identifier of this procedure's log codec (see log/codec.h), or
+  /// kNotLoggable. A procedure with a codec can be rebuilt, bit-identical
+  /// in behavior, from its EncodeArgs() bytes — which is all Bohm needs
+  /// for recovery: the sequenced input log *is* the redo log.
+  virtual uint32_t codec_id() const { return kNotLoggable; }
+
+  /// Serializes constructor arguments for the log (only called when
+  /// codec_id() != kNotLoggable).
+  virtual void EncodeArgs(std::string* out) const { (void)out; }
+
  protected:
   ReadWriteSet set_;
 };
@@ -46,6 +63,8 @@ class PutProcedure final : public StoredProcedure {
  public:
   PutProcedure(TableId table, Key key, uint64_t value);
   void Run(TxnOps& ops) override;
+  uint32_t codec_id() const override;
+  void EncodeArgs(std::string* out) const override;
 
  private:
   TableId table_;
@@ -72,6 +91,8 @@ class IncrementProcedure final : public StoredProcedure {
  public:
   IncrementProcedure(TableId table, Key key, uint64_t delta = 1);
   void Run(TxnOps& ops) override;
+  uint32_t codec_id() const override;
+  void EncodeArgs(std::string* out) const override;
 
  private:
   TableId table_;

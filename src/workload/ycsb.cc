@@ -4,6 +4,8 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "log/codec.h"
+
 namespace bohm {
 
 Catalog YcsbCatalog(const YcsbConfig& cfg) {
@@ -22,6 +24,14 @@ YcsbRmwProcedure::YcsbRmwProcedure(std::vector<Key> keys,
                                    uint32_t record_size)
     : keys_(std::move(keys)), record_size_(record_size) {
   for (Key k : keys_) set_.AddRmw(kYcsbTableId, k);
+}
+
+uint32_t YcsbRmwProcedure::codec_id() const { return kCodecYcsbRmw; }
+
+void YcsbRmwProcedure::EncodeArgs(std::string* out) const {
+  AppendFixed32(out, record_size_);
+  AppendFixed32(out, static_cast<uint32_t>(keys_.size()));
+  for (Key k : keys_) AppendFixed64(out, static_cast<uint64_t>(k));
 }
 
 void YcsbRmwProcedure::Run(TxnOps& ops) {

@@ -55,6 +55,8 @@ class YcsbRmwProcedure final : public StoredProcedure {
  public:
   YcsbRmwProcedure(std::vector<Key> keys, uint32_t record_size);
   void Run(TxnOps& ops) override;
+  uint32_t codec_id() const override;
+  void EncodeArgs(std::string* out) const override;
 
  private:
   std::vector<Key> keys_;

@@ -40,8 +40,52 @@ TEST(BohmEngineTest, DoubleStartRejected) {
 
 TEST(BohmEngineTest, SubmitBeforeStartRejected) {
   BohmEngine engine(OneTable(4), BohmConfig{});
-  EXPECT_TRUE(engine.Submit(std::make_unique<PutProcedure>(0, 1, 2))
-                  .IsFailedPrecondition());
+  EXPECT_TRUE(
+      engine.Submit(std::make_unique<PutProcedure>(0, 1, 2)).IsRejected());
+}
+
+TEST(BohmEngineTest, SubmitAfterStopRejected) {
+  BohmEngine engine(OneTable(4), BohmConfig{});
+  ASSERT_TRUE(engine.Start().ok());
+  engine.Stop();
+  EXPECT_TRUE(
+      engine.Submit(std::make_unique<PutProcedure>(0, 1, 2)).IsRejected());
+}
+
+TEST(BohmEngineTest, SubmitUnknownTableRejected) {
+  BohmEngine engine(OneTable(4), BohmConfig{});
+  ASSERT_TRUE(engine.Start().ok());
+  // Table 7 does not exist; before graceful rejection this dereferenced a
+  // null BohmTable inside the sequencer.
+  Status st = engine.Submit(std::make_unique<PutProcedure>(7, 1, 2));
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  engine.Stop();
+}
+
+namespace {
+/// Declares the same key twice in its write set — a malformed footprint.
+class DuplicateWriteProcedure final : public StoredProcedure {
+ public:
+  DuplicateWriteProcedure() {
+    set_.AddWrite(0, 1);
+    set_.AddWrite(0, 1);
+  }
+  void Run(TxnOps& ops) override { (void)ops.Write(0, 1); }
+};
+}  // namespace
+
+TEST(BohmEngineTest, SubmitDuplicateWriteRejected) {
+  BohmEngine engine(OneTable(4), BohmConfig{});
+  ASSERT_TRUE(engine.Start().ok());
+  Status st = engine.Submit(std::make_unique<DuplicateWriteProcedure>());
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  // The engine keeps running after a rejection.
+  ASSERT_TRUE(engine.Submit(std::make_unique<PutProcedure>(0, 1, 2)).ok());
+  engine.WaitForIdle();
+  uint64_t v = 0;
+  EXPECT_TRUE(engine.ReadLatest(0, 1, &v).ok());
+  EXPECT_EQ(v, 2u);
+  engine.Stop();
 }
 
 TEST(BohmEngineTest, LoadAfterStartRejected) {

@@ -34,7 +34,9 @@ TEST(StatusTest, AllPredicatesMatchTheirCode) {
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Rejected("x").IsRejected());
   EXPECT_FALSE(Status::Internal("x").IsAborted());
+  EXPECT_FALSE(Status::Rejected("x").IsFailedPrecondition());
 }
 
 TEST(StatusTest, CodeNames) {
@@ -45,6 +47,7 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(CodeName(Code::kFailedPrecondition), "FailedPrecondition");
   EXPECT_STREQ(CodeName(Code::kResourceExhausted), "ResourceExhausted");
   EXPECT_STREQ(CodeName(Code::kInternal), "Internal");
+  EXPECT_STREQ(CodeName(Code::kRejected), "Rejected");
 }
 
 TEST(ResultTest, HoldsValue) {
