@@ -117,7 +117,14 @@ Status BohmEngine::Start() {
     return Status::FailedPrecondition("already started");
   }
   if (log_ != nullptr) {
-    BOHM_RETURN_NOT_OK(log_->Open());
+    Status opened = log_->Open();
+    if (!opened.ok()) {
+      // Roll back the CAS: no pipeline thread was spawned, so leaving
+      // started_ set would let Submit() enqueue transactions nothing
+      // ever dequeues (callers would then hang in WaitForIdle).
+      started_.store(false, std::memory_order_release);
+      return opened;
+    }
     log_writer_->Start();
   }
   const bool pin =

@@ -29,7 +29,27 @@ bool ParseSegmentFileName(const std::string& name, uint64_t* first_seqno) {
   return true;
 }
 
-Status BatchLog::Open() { return env_->CreateDirIfMissing(dir_); }
+namespace {
+
+/// Parent directory of `path` (no trailing slash expected), for syncing
+/// the entry of a freshly created log directory.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status BatchLog::Open() {
+  BOHM_RETURN_NOT_OK(env_->CreateDirIfMissing(dir_));
+  // Persist the log directory's own entry: segments fsynced into a
+  // directory that itself vanishes on power loss are just as lost.
+  BOHM_RETURN_NOT_OK(env_->SyncDir(ParentDir(dir_)));
+  ++fsyncs_;
+  return Status::OK();
+}
 
 Status BatchLog::Append(uint64_t seqno, const std::string& payload) {
   if (file_ != nullptr && segment_size_ >= segment_bytes_) {
@@ -41,6 +61,11 @@ Status BatchLog::Append(uint64_t seqno, const std::string& payload) {
   if (file_ == nullptr) {
     BOHM_RETURN_NOT_OK(
         env_->NewWritableFile(dir_ + "/" + SegmentFileName(seqno), &file_));
+    // The new segment's directory entry must be durable before any data
+    // fsync can advance the watermark over its records — otherwise power
+    // loss can drop the whole file while its contents were "durable".
+    BOHM_RETURN_NOT_OK(env_->SyncDir(dir_));
+    ++fsyncs_;
     segment_size_ = 0;
   }
   scratch_.clear();

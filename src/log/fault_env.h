@@ -77,6 +77,14 @@ class FaultLogEnv final : public LogEnv {
     // relaxed: test observation after the run (the join orders it).
     return syncs_.load(std::memory_order_relaxed);
   }
+  uint64_t dir_syncs() const {
+    // relaxed: test observation after the run (the join orders it).
+    return dir_syncs_.load(std::memory_order_relaxed);
+  }
+  uint64_t file_syncs() const {
+    // relaxed: test observation after the run (the join orders it).
+    return file_syncs_.load(std::memory_order_relaxed);
+  }
 
   // --- LogEnv ---
 
@@ -95,6 +103,22 @@ class FaultLogEnv final : public LogEnv {
   Status TruncateFile(const std::string& path, uint64_t size) override {
     return base_->TruncateFile(path, size);
   }
+  // Directory entries are outside the crash model (CrashAfterBytes /
+  // CrashAtSync only drop *file data*): after a programmed crash these
+  // become silent no-ops like every other write-path call; otherwise they
+  // forward, and the counters let tests assert the log issued them.
+  Status SyncDir(const std::string& dir) override {
+    // relaxed: observation-only counter / writer-thread-owned flag.
+    dir_syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (crashed_.load(std::memory_order_relaxed)) return Status::OK();
+    return base_->SyncDir(dir);
+  }
+  Status SyncFile(const std::string& path) override {
+    // relaxed: observation-only counter / writer-thread-owned flag.
+    file_syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (crashed_.load(std::memory_order_relaxed)) return Status::OK();
+    return base_->SyncFile(path);
+  }
 
  private:
   friend class FaultLogFile;
@@ -107,6 +131,8 @@ class FaultLogEnv final : public LogEnv {
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> dir_syncs_{0};
+  std::atomic<uint64_t> file_syncs_{0};
 };
 
 }  // namespace bohm

@@ -119,6 +119,29 @@ class PosixLogEnv final : public LogEnv {
     }
     return Status::OK();
   }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("open", dir);
+    return FsyncAndClose(fd, dir);
+  }
+
+  Status SyncFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    return FsyncAndClose(fd, path);
+  }
+
+ private:
+  static Status FsyncAndClose(int fd, const std::string& path) {
+    if (::fsync(fd) != 0) {
+      Status st = Errno("fsync", path);
+      ::close(fd);
+      return st;
+    }
+    if (::close(fd) != 0) return Errno("close", path);
+    return Status::OK();
+  }
 };
 
 }  // namespace

@@ -57,6 +57,20 @@ class LogEnv {
   /// recovery to drop a torn or corrupt final record.
   virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
 
+  /// Durably persists the directory itself (fsync of an O_DIRECTORY fd).
+  /// Data fsyncs cover a file's bytes, not its *name*: on power loss the
+  /// entry for a freshly created segment can vanish with all its records.
+  /// The log syncs the directory after every segment creation, before the
+  /// durable watermark may cover any record in it.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Durably persists an existing file by path (open + fsync + close).
+  /// Recovery uses it to make tail repair (TruncateFile) itself durable —
+  /// an un-persisted truncate could resurrect damaged tail bytes after
+  /// the segment is no longer last, turning repairable damage into a
+  /// refused mid-log hole.
+  virtual Status SyncFile(const std::string& path) = 0;
+
   /// The real POSIX-backed environment (process-wide singleton).
   static LogEnv* Default();
 };

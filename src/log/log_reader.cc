@@ -52,11 +52,22 @@ Status ReadBatchLog(const std::string& dir, LogEnv* env,
   std::vector<std::pair<uint64_t, std::string>> segments;
   BOHM_RETURN_NOT_OK(SortedSegments(dir, env, &segments));
 
-  bool have_expected = false;
-  uint64_t expected_seqno = 0;
+  // The log is anchored, not floating: seqnos start at 1 (0 is reserved)
+  // and each segment's filename carries its first record's seqno. Anchoring
+  // the scan at 1 and cross-checking every filename against the running
+  // expectation means lost or deleted *leading* segments are refused
+  // instead of silently replaying only a suffix of history.
+  uint64_t expected_seqno = 1;
   for (size_t si = 0; si < segments.size(); ++si) {
     const bool last_segment = (si + 1 == segments.size());
     const std::string path = dir + "/" + segments[si].second;
+    if (segments[si].first != expected_seqno) {
+      return Status::Internal(
+          "log segment " + path + " starts at seqno " +
+          std::to_string(segments[si].first) + " but " +
+          std::to_string(expected_seqno) +
+          " was expected — earlier segments are missing or misnamed");
+    }
     std::string contents;
     BOHM_RETURN_NOT_OK(env->ReadFileToString(path, &contents));
     ++stats->segments;
@@ -82,6 +93,12 @@ Status ReadBatchLog(const std::string& dir, LogEnv* env,
               std::to_string(off) + " — refusing to replay past a hole");
         }
         BOHM_RETURN_NOT_OK(env->TruncateFile(path, off));
+        // The repair itself must be durable before the engine starts and
+        // appends new synced segments: a crash that resurrects the damaged
+        // tail once this segment is no longer last would read as mid-log
+        // corruption and brick an otherwise recoverable log.
+        BOHM_RETURN_NOT_OK(env->SyncFile(path));
+        BOHM_RETURN_NOT_OK(env->SyncDir(dir));
         stats->tail_truncated = true;
         stats->truncated_bytes = tail_len;
         stats->tail_detail =
@@ -95,12 +112,11 @@ Status ReadBatchLog(const std::string& dir, LogEnv* env,
         break;
       }
 
-      if (have_expected && hdr.seqno != expected_seqno) {
+      if (hdr.seqno != expected_seqno) {
         return Status::Internal("log seqno gap in " + path + ": expected " +
                                 std::to_string(expected_seqno) + ", found " +
                                 std::to_string(hdr.seqno));
       }
-      have_expected = true;
       expected_seqno = hdr.seqno + 1;
 
       ReplayedBatch batch;

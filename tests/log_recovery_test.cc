@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bohm/engine.h"
+#include "log/batch_log.h"
 #include "log/fault_env.h"
 #include "log/log_reader.h"
 #include "log/record.h"
@@ -380,6 +381,113 @@ TEST_F(RecoveryTest, MidLogCorruptionIsRefused) {
   auto engine = MakeEngine(Config(Dir("log")));
   Status st = engine->Recover();
   EXPECT_TRUE(st.IsInternal()) << st.ToString();
+}
+
+TEST_F(RecoveryTest, MissingLeadingSegmentIsRefused) {
+  // A log whose earliest surviving segment does not start at seqno 1 is
+  // a suffix of history, not history: replaying it would silently diverge
+  // from the pre-crash state, so recovery must refuse.
+  BohmConfig cfg = Config(Dir("log"));
+  cfg.durability.segment_bytes = 256;  // force several segments
+  {
+    auto engine = MakeEngine(cfg);
+    ASSERT_TRUE(engine->Start().ok());
+    SubmitWorkload(engine.get(), 0, kTxns);
+    engine->WaitForIdle();
+    engine->Stop();
+  }
+  std::vector<std::filesystem::path> segments;
+  for (const auto& e : std::filesystem::directory_iterator(Dir("log"))) {
+    uint64_t first;
+    if (ParseSegmentFileName(e.path().filename().string(), &first)) {
+      segments.push_back(e.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GE(segments.size(), 2u) << "need rotation for this test";
+  std::filesystem::remove(segments.front());
+
+  auto engine = MakeEngine(Config(Dir("log")));
+  Status st = engine->Recover();
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+}
+
+TEST_F(RecoveryTest, MisnamedSegmentIsRefused) {
+  // A segment whose filename seqno disagrees with the running sequence
+  // (here: the only segment renamed to claim it starts at 2) means the
+  // directory and its contents no longer tell the same story.
+  {
+    auto engine = MakeEngine(Config(Dir("log")));
+    ASSERT_TRUE(engine->Start().ok());
+    SubmitWorkload(engine.get(), 0, kTxns);
+    engine->WaitForIdle();
+    engine->Stop();
+  }
+  const std::filesystem::path dir(Dir("log"));
+  std::filesystem::rename(dir / SegmentFileName(1), dir / SegmentFileName(2));
+
+  auto engine = MakeEngine(Config(Dir("log")));
+  Status st = engine->Recover();
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+}
+
+// ----------------------------------------------------------------------
+// Durability of the metadata the data fsyncs don't cover
+
+TEST_F(RecoveryTest, SegmentCreationSyncsTheDirectory) {
+  FaultLogEnv fault;
+  {
+    auto engine = MakeEngine(Config(Dir("log"), FsyncPolicy::kNone, &fault));
+    ASSERT_TRUE(engine->Start().ok());
+    SubmitWorkload(engine.get(), 0, 10);
+    engine->WaitForIdle();
+    engine->Stop();
+  }
+  // Open() syncs the log dir's entry in its parent; the first segment's
+  // creation syncs the log directory itself — both before any record in
+  // the segment could be reported durable.
+  EXPECT_GE(fault.dir_syncs(), 2u);
+}
+
+TEST_F(RecoveryTest, TailRepairSyncsTheTruncation) {
+  {
+    auto engine = MakeEngine(Config(Dir("log")));
+    ASSERT_TRUE(engine->Start().ok());
+    SubmitWorkload(engine.get(), 0, kTxns);
+    engine->WaitForIdle();
+    engine->Stop();
+  }
+  std::vector<RecordSpan> spans;
+  ASSERT_TRUE(ScanRecordSpans(Dir("log"), LogEnv::Default(), &spans).ok());
+  ASSERT_GE(spans.size(), 2u);
+  // Tear the last record's header, then recover through a counting env:
+  // the repair must fsync the truncated file (and the directory) before
+  // the engine starts appending new segments beyond it.
+  ASSERT_TRUE(LogEnv::Default()
+                  ->TruncateFile(spans.back().path, spans.back().offset + 1)
+                  .ok());
+  FaultLogEnv fault;
+  auto engine = MakeEngine(Config(Dir("log"), FsyncPolicy::kNone, &fault));
+  ASSERT_TRUE(engine->Recover().ok());
+  EXPECT_TRUE(engine->recovery_stats().tail_truncated);
+  EXPECT_GE(fault.file_syncs(), 1u);
+  EXPECT_GE(fault.dir_syncs(), 1u);
+  engine->Stop();
+}
+
+// ----------------------------------------------------------------------
+// Start() failure must not half-start the engine
+
+TEST_F(RecoveryTest, StartRollsBackWhenLogOpenFails) {
+  // The log directory's parent does not exist, so BatchLog::Open fails
+  // after Start() has already claimed started_. The claim must be rolled
+  // back: otherwise Submit() would accept transactions into a pipeline
+  // with no threads, and callers would hang in WaitForIdle/Stop.
+  auto engine = MakeEngine(Config(Dir("missing-parent") + "/nested/log"));
+  Status st = engine->Start();
+  ASSERT_FALSE(st.ok()) << st.ToString();
+  EXPECT_TRUE(engine->Submit(WorkloadTxn(0)).IsRejected());
+  engine->Stop();  // never started: must be a safe no-op, not a hang
 }
 
 // ----------------------------------------------------------------------
