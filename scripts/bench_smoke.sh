@@ -12,7 +12,16 @@
 #   - the durable-log accounting: log_stall_us and fsyncs present and
 #     >= 0 on every Bohm point (zero when the bench runs without
 #     durability — the keys must still be emitted so the ablation JSON
-#     stays line-compatible).
+#     stays line-compatible), and
+#   - the adaptive-repartitioning counters: cc_migrations and
+#     cc_imbalance present and >= 0 on every Bohm point (zero / 1.0 when
+#     the engine runs the static assignment — again, the keys must be
+#     emitted unconditionally).
+#
+# With BOHM_SMOKE_REQUIRE_MIGRATIONS=1 (the hotspot-bench smoke sets it:
+# that bench runs an adaptive point under skewed traffic, so a zero
+# migration count means the controller rotted), at least one Bohm point
+# must additionally report cc_migrations > 0.
 #
 # When BOHM_SMOKE_MIN_TPUT > 0 (CTest sets it on Release builds only —
 # sanitizer and debug presets run an order of magnitude slower), the
@@ -32,6 +41,7 @@ set -euo pipefail
 bin=${1:?usage: bench_smoke.sh <bench-binary> <json-output-path>}
 out=${2:?usage: bench_smoke.sh <bench-binary> <json-output-path>}
 min_tput=${BOHM_SMOKE_MIN_TPUT:-0}
+require_migrations=${BOHM_SMOKE_REQUIRE_MIGRATIONS:-0}
 
 rm -f "$out"
 BOHM_BENCH_JSON="$out" "$bin"
@@ -43,12 +53,16 @@ fi
 
 # One point per line with a fixed key order (see src/harness/report.cc),
 # so awk can assert without a JSON parser.
-awk -v min_tput="$min_tput" '
-  /"system": "Bohm"/ {
+awk -v min_tput="$min_tput" -v require_migrations="$require_migrations" '
+  # Prefix match: the hotspot ablation emits "Bohm-static"/"Bohm-adaptive"
+  # variants; all Bohm points run through the same driver, so every
+  # assertion below applies to them unchanged.
+  /"system": "Bohm/ {
     bohm++
     lat_count = p50 = p99 = p999 = -1
     seq_stall = cc_stall = exec_stall = -1
     log_stall = fsyncs = -1
+    cc_migr = cc_imb = -1
     threads = tput = -1
     # Strip JSON punctuation up front so values quoted as strings (the
     # swept parameters, e.g. "threads": "1") parse numerically too.
@@ -63,6 +77,8 @@ awk -v min_tput="$min_tput" '
       if ($i == "exec_stall_us") exec_stall = $(i + 1) + 0
       if ($i == "log_stall_us") log_stall = $(i + 1) + 0
       if ($i == "fsyncs") fsyncs = $(i + 1) + 0
+      if ($i == "cc_migrations") cc_migr = $(i + 1) + 0
+      if ($i == "cc_imbalance") cc_imb = $(i + 1) + 0
       if ($i == "threads") threads = $(i + 1) + 0
       if ($i == "tput_txns_per_sec") tput = $(i + 1) + 0
     }
@@ -85,6 +101,14 @@ awk -v min_tput="$min_tput" '
             log_stall ", fsyncs " fsyncs "): " $0
       bad++
     }
+    # Adaptive counters must be emitted on every Bohm point; zero
+    # migrations / imbalance 1.0 is the legal static-assignment reading.
+    if (cc_migr < 0 || cc_imb < 0) {
+      print "FAIL: Bohm point missing adaptive counters (cc_migrations " \
+            cc_migr ", cc_imbalance " cc_imb "): " $0
+      bad++
+    }
+    total_migr += cc_migr > 0 ? cc_migr : 0
     if (threads == 1 && tput > best_1t) best_1t = tput
   }
   END {
@@ -96,6 +120,14 @@ awk -v min_tput="$min_tput" '
         bad++
       } else {
         print "OK: Bohm 1-thread throughput " best_1t " txn/s >= floor " min_tput
+      }
+    }
+    if (require_migrations + 0 > 0) {
+      if (total_migr + 0 == 0) {
+        print "FAIL: BOHM_SMOKE_REQUIRE_MIGRATIONS set but no Bohm point reported cc_migrations > 0"
+        bad++
+      } else {
+        print "OK: adaptive points reported " total_migr " migrations"
       }
     }
     if (bad > 0) exit 1

@@ -12,7 +12,7 @@ set -euo pipefail
 root=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-$root/build}
 
-benches=(fig5_ycsb_10rmw fig7_theta_sweep abl_durability)
+benches=(fig5_ycsb_10rmw fig7_theta_sweep abl_durability fig11_hotspot)
 
 for b in "${benches[@]}"; do
   bin="$build/$b"

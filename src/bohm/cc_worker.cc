@@ -1,10 +1,13 @@
 // The concurrency-control stage (Sections 3.2.2–3.2.4), streamed.
 //
 // Every CC thread walks every batch in log order and, for each
-// transaction, processes exactly those read/write-set elements whose key
-// hashes to its partition. The decision is purely thread-local; two CC
-// threads never touch the same record, even across transaction boundaries,
-// so version insertion needs no synchronization. The only cross-thread
+// transaction, processes exactly those read/write-set elements whose
+// physical partition (static hash of the key) it currently owns under
+// the batch's partition map (identity when adaptive repartitioning is
+// off). The decision is purely thread-local; two CC threads never touch
+// the same record inside one map epoch, and epoch handoff is ordered by
+// the watermark/feed edges (rule R7), so version insertion needs no
+// synchronization. The only cross-thread
 // coordination is one release store per batch: each thread advances its
 // own cc_watermark_ slot when its partition slice is done and streams
 // straight into the next batch — it never waits for its peers. The
@@ -52,9 +55,12 @@ void BohmEngine::CcLoop(uint32_t cc_id) {
     // fully passed (Condition 3, Section 3.3.2). Amortized once per batch.
     if (cfg_.gc_enabled) DrainRetired(cc_id);
 
-    const uint64_t my_bit = 1ull << cc_id;
+    // Interest skipping needs a defined shift: cc_id >= 64 only happens
+    // with preprocessing disabled (Start() validates), where every txn
+    // carries the all-ones mask anyway.
+    const uint64_t my_bit = cc_id < 64 ? 1ull << cc_id : 0;
     for (BohmTxn* txn : batch->txns) {
-      if ((txn->cc_interest & my_bit) == 0) continue;
+      if (my_bit != 0 && (txn->cc_interest & my_bit) == 0) continue;
       CcProcessTxn(cc_id, txn, b);
     }
 
@@ -71,6 +77,15 @@ void BohmEngine::CcLoop(uint32_t cc_id) {
 
 void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
   CcState& st = *cc_state_[cc_id];
+  // Route by the batch's partition map, not by thread id: the physical
+  // partition (static hash) selects the index shard, the map says whether
+  // this thread currently owns it (rule R7). With adaptive off the map is
+  // the identity, reproducing the original PartitionOf(key) == cc_id
+  // routing. The owners array was published by the feed push (rule R5)
+  // and stays alive until the batch is fully executed.
+  const Batch* batch = ring_.Slot(batch_id);
+  const uint32_t* owners = batch->owners;
+  RelaxedCounter* touch = st.touch.get();
 
   // Reads first: the annotation must reference the version that precedes
   // any placeholder this same transaction inserts (RMW reads observe the
@@ -81,12 +96,15 @@ void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
     for (uint32_t i = 0; i < txn->n_reads; ++i) {
       ReadRef& r = txn->reads[i];
       BohmTable* table = db_.table(r.rec.table);
-      if (table->PartitionOf(r.rec.key) != cc_id) continue;
-      BohmIndexEntry* entry = table->Find(cc_id, r.rec.key);
-      // relaxed: this CC thread is the sole writer of heads in its own
-      // partition, so it reads back its own stores; cross-thread
-      // visibility of the annotation itself rides the cc_watermark_
-      // release/acquire edge (rule R5).
+      const uint32_t part = table->PartitionOf(r.rec.key);
+      if (owners[part] != cc_id) continue;
+      if (touch != nullptr) touch[part].Inc();
+      BohmIndexEntry* entry = table->Find(part, r.rec.key);
+      // relaxed: this CC thread is the current single writer of heads in
+      // the partitions it owns (ownership handoff itself rides the
+      // watermark/feed release-acquire edges, rule R7), so it reads back
+      // the latest store; cross-thread visibility of the annotation
+      // itself rides the cc_watermark_ release/acquire edge (rule R5).
       r.version =
           entry ? entry->head.load(std::memory_order_relaxed) : nullptr;
       r.resolved = true;
@@ -102,7 +120,9 @@ void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
   for (uint32_t i = 0; i < txn->n_writes; ++i) {
     WriteRef& w = txn->writes[i];
     BohmTable* table = db_.table(w.rec.table);
-    if (table->PartitionOf(w.rec.key) != cc_id) continue;
+    const uint32_t part = table->PartitionOf(w.rec.key);
+    if (owners[part] != cc_id) continue;
+    if (touch != nullptr) touch[part].Inc();
 
     Version* v = st.alloc.Alloc(w.rec.table, record_sizes_[w.rec.table]);
     v->begin_ts = txn->ts;
@@ -110,11 +130,13 @@ void BohmEngine::CcProcessTxn(uint32_t cc_id, BohmTxn* txn, int64_t batch_id) {
     st.versions_created.Inc();
 
     bool inserted = false;
-    BohmIndexEntry* entry = table->GetOrInsert(cc_id, w.rec.key, v, &inserted);
+    BohmIndexEntry* entry = table->GetOrInsert(part, w.rec.key, v, &inserted);
     if (!inserted) {
-      // relaxed: this CC thread is the sole writer of this record's head,
-      // so it always sees its own latest store; readers synchronize via
-      // the release below (or the entry publication).
+      // relaxed: this CC thread is the current single writer of this
+      // record's head (single ownership at any moment; handoff rides the
+      // R7 edges, so the previous owner's stores are visible), and
+      // readers synchronize via the release below (or the entry
+      // publication).
       Version* old = entry->head.load(std::memory_order_relaxed);
       v->prev = old;
       if (old != nullptr) {

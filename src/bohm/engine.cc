@@ -9,6 +9,22 @@
 
 namespace bohm {
 
+namespace {
+
+/// Physical partitions per table. Static assignment: one per CC thread.
+/// Adaptive: many more than cc_threads so whole partitions can migrate at
+/// useful granularity (auto = 8 per thread, floor 128, cap 1024).
+uint32_t EffectivePartitions(const BohmConfig& cfg) {
+  if (!cfg.adaptive.enabled) return cfg.cc_threads;
+  if (cfg.adaptive.partitions != 0) return cfg.adaptive.partitions;
+  uint64_t p = NextPow2(static_cast<uint64_t>(cfg.cc_threads) * 8);
+  if (p < 128) p = 128;
+  if (p > 1024) p = 1024;
+  return static_cast<uint32_t>(p);
+}
+
+}  // namespace
+
 BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
     : catalog_(catalog),
       cfg_([&] {
@@ -17,10 +33,14 @@ BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
         if (cfg.batch_size == 0) cfg.batch_size = 1;
         if (cfg.pipeline_depth < 1) cfg.pipeline_depth = 1;
         if (cfg.max_dependency_depth == 0) cfg.max_dependency_depth = 1;
-        if (cfg.cc_threads > 64) cfg.interest_preprocessing = false;
+        if (cfg.adaptive.interval_batches == 0) cfg.adaptive.interval_batches = 1;
+        if (cfg.adaptive.max_imbalance < 1.0) cfg.adaptive.max_imbalance = 1.0;
         return cfg;
       }()),
-      db_(catalog_, cfg_.cc_threads),
+      db_(catalog_, EffectivePartitions(cfg_)),
+      repart_(std::make_unique<RepartitionController>(
+          db_.partitions(), cfg_.cc_threads, cfg_.adaptive)),
+      touch_totals_(db_.partitions(), 0),
       ring_(cfg_.pipeline_depth),
       input_(NextPow2(cfg_.input_queue_capacity < 2 ? 2
                                                     : cfg_.input_queue_capacity)),
@@ -38,6 +58,17 @@ BohmEngine::BohmEngine(const Catalog& catalog, BohmConfig cfg)
                                             : cfg_.pipeline_depth);
   for (uint32_t i = 0; i < cfg_.cc_threads; ++i) {
     cc_state_.push_back(std::make_unique<CcState>());
+    cc_state_.back()->alloc.set_owner(i);
+    if (cfg_.adaptive.enabled) {
+      cc_state_.back()->touch =
+          std::make_unique<RelaxedCounter[]>(db_.partitions());
+      // Handback ring for versions this thread allocated but a later
+      // owner of the partition retires. Sized for the transient after a
+      // migration (one foreign retiree per migrated record on its first
+      // supersede); producers spill locally and retry when full.
+      cc_state_.back()->handback =
+          std::make_unique<MpmcQueue<std::pair<Version*, int64_t>>>(1024);
+    }
     cc_feed_.push_back(std::make_unique<SpscQueue<int64_t>>(feed_capacity));
     cc_stall_.push_back(std::make_unique<StallSlot>());
   }
@@ -75,7 +106,11 @@ Status BohmEngine::Load(TableId table, Key key, const void* payload) {
   if (t->Find(part, key) != nullptr) {
     return Status::InvalidArgument("duplicate key in load");
   }
-  Version* v = cc_state_[part]->alloc.Alloc(table, record_sizes_[table]);
+  // Allocate from the partition's *initial owner* so the allocator stamp
+  // matches the thread that would have created the version (GC hands
+  // retirees back to the allocating thread's free lists).
+  const uint32_t owner = repart_->current()->owners[part];
+  Version* v = cc_state_[owner]->alloc.Alloc(table, record_sizes_[table]);
   v->begin_ts = kLoadTs;
   if (payload != nullptr) {
     std::memcpy(v->data(), payload, record_sizes_[table]);
@@ -91,6 +126,22 @@ Status BohmEngine::Load(TableId table, Key key, const void* payload) {
 }
 
 Status BohmEngine::Start() {
+  // The cc_interest mask on BohmTxn is 64 bits, one per CC *thread*
+  // (owner bits, not partition bits — partition counts above 64 are fine
+  // because the sequencer masks by owners[PartitionOf(key)]). A config
+  // that would shift past the mask width is rejected instead of silently
+  // computing undefined behavior; run cc_threads > 64 with
+  // interest_preprocessing explicitly disabled.
+  if (cfg_.interest_preprocessing && cfg_.cc_threads > 64) {
+    return Status::InvalidArgument(
+        "interest_preprocessing requires cc_threads <= 64 (the cc_interest "
+        "mask is 64 bits wide); disable it to run more CC threads");
+  }
+  if (cfg_.adaptive.enabled && db_.partitions() < cfg_.cc_threads) {
+    return Status::InvalidArgument(
+        "adaptive.partitions must be >= cc_threads (every CC thread needs "
+        "at least one partition to own)");
+  }
   if (cfg_.durability.enabled && !recovered_) {
     // A pre-existing log means there is committed history on disk.
     // Starting fresh would restart seqnos and silently fork that history;
@@ -273,6 +324,8 @@ StatsSnapshot BohmEngine::Stats() const {
     s.log_records = log_writer_->records();
     s.log_fsyncs = log_writer_->fsyncs();
   }
+  s.cc_migrations = repart_->migrations();
+  s.cc_imbalance_x1000 = repart_->imbalance_x1000();
   return s;
 }
 

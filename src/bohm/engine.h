@@ -6,7 +6,9 @@
 //      --> sequencer thread: totally orders transactions; timestamp =
 //          position in the log; accumulates batches (Sections 3.2.1, 3.2.4)
 //      --> m concurrency-control threads: each walks every batch and
-//          processes exactly the records in its hash partition — inserts
+//          processes exactly the physical partitions the batch's
+//          partition map assigns to it (static per thread unless
+//          adaptive repartitioning is on; bohm/repartition.h) — inserts
 //          uninitialized version placeholders for writes and annotates
 //          reads with version references (Sections 3.2.2, 3.2.3); each
 //          thread advances its own epoch watermark per batch instead of
@@ -44,6 +46,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "bohm/batch.h"
+#include "bohm/repartition.h"
 #include "bohm/table.h"
 #include "bohm/txn_state.h"
 #include "bohm/version.h"
@@ -88,8 +91,9 @@ struct RecoveryStats {
 };
 
 struct BohmConfig {
-  /// m: concurrency-control threads (each owns a hash partition of every
-  /// table).
+  /// m: concurrency-control threads (each owns the physical hash
+  /// partitions the partition map assigns to it; exactly one per thread
+  /// unless `adaptive` is enabled).
   uint32_t cc_threads = 2;
   /// n: transaction-execution threads.
   uint32_t exec_threads = 2;
@@ -116,9 +120,19 @@ struct BohmConfig {
   uint32_t max_dependency_depth = 64;
   /// Pre-processing (Section 3.2.2's answer to the Amdahl's-law concern):
   /// the sequencer annotates each transaction with the set of CC threads
-  /// whose partitions it touches, so CC threads skip foreign transactions
-  /// without scanning their read/write sets. Requires cc_threads <= 64.
+  /// it has work for (computed against the batch's partition map), so CC
+  /// threads skip foreign transactions without scanning their read/write
+  /// sets. The mask is 64 bits wide, so this requires cc_threads <= 64;
+  /// Start() rejects (InvalidArgument) configs that violate it instead of
+  /// silently computing an undefined shift. Disable it explicitly to run
+  /// with more than 64 CC threads.
   bool interest_preprocessing = true;
+  /// Adaptive CC repartitioning (src/bohm/repartition.h): decouple the
+  /// physical index partition from the owning CC thread and migrate hot
+  /// partitions between threads at batch boundaries. Off by default; when
+  /// off the engine uses the original static one-partition-per-thread
+  /// assignment (routed through an identity map).
+  AdaptiveCcConfig adaptive;
   /// Durable sequencer log + crash recovery (docs/DURABILITY.md).
   DurabilityConfig durability;
 };
@@ -237,6 +251,17 @@ class BohmEngine {
   uint64_t gc_freed_versions() const;
   const BohmConfig& config() const { return cfg_; }
 
+  /// Physical partitions per table (== cc_threads unless adaptive
+  /// repartitioning is enabled).
+  uint32_t partition_count() const { return db_.partitions(); }
+  /// Partitions migrated between CC threads so far (monotone; 0 with
+  /// adaptive repartitioning off).
+  uint64_t cc_migrations() const { return repart_->migrations(); }
+  /// Epoch of the currently promoted partition map (0 = initial).
+  uint64_t partition_map_epoch() const { return repart_->epoch(); }
+  /// Last folded max/mean CC-thread load ratio x1000 (1000 = balanced).
+  uint64_t cc_imbalance_x1000() const { return repart_->imbalance_x1000(); }
+
   /// Reads the committed value of a record as of "now" (after
   /// WaitForIdle). Test/example helper; not part of the transactional
   /// path. Returns NotFound when absent.
@@ -250,6 +275,20 @@ class BohmEngine {
     std::deque<std::pair<Version*, int64_t>> retired;  // (version, batch)
     RelaxedCounter freed;
     RelaxedCounter versions_created;
+    /// Per-partition touch counters (adaptive repartitioning only, else
+    /// null). Single-writer: at any moment each partition has exactly one
+    /// owner, and ownership handoff rides the watermark/feed edges, so a
+    /// slot never has two concurrent writers. The sequencer folds them
+    /// between batches.
+    std::unique_ptr<RelaxedCounter[]> touch;
+    /// Retirees allocated by this thread but retired by another (the
+    /// partition migrated in between): producers TryPush here, the owner
+    /// drains into `retired`. Null when adaptive is off — the allocator
+    /// and retirer then always coincide.
+    std::unique_ptr<MpmcQueue<std::pair<Version*, int64_t>>> handback;
+    /// Producer-side spill when a handback ring is momentarily full;
+    /// retried on this thread's next DrainRetired (never blocks CC).
+    std::deque<std::pair<Version*, int64_t>> handback_spill;
   };
   /// Single-writer wall-clock stall accumulator, one per pipeline thread
   /// (padded so stall accounting never shares a line across threads).
@@ -260,6 +299,10 @@ class BohmEngine {
   // --- sequencer stage (sequencer.cc) ---
   void SequencerLoop();
   void SealBatch(Batch* batch, int64_t id);
+  /// Folds the per-thread per-partition touch counters into
+  /// touch_totals_ and feeds them to the repartition controller
+  /// (sequencer thread only; adaptive repartitioning only).
+  void FoldTouchCounters();
   /// Encodes + hands the sealed batch to the log writer (sequencer thread
   /// only; no-op while replaying).
   void LogSealedBatch(const Batch& batch, int64_t id);
@@ -294,6 +337,12 @@ class BohmEngine {
   Catalog catalog_;
   BohmConfig cfg_;
   BohmDatabase db_;
+  /// Partition -> owner-thread map machinery (always present; an identity
+  /// map that never migrates when adaptive is off). Mutated only by the
+  /// sequencer; monitors are release-published.
+  std::unique_ptr<RepartitionController> repart_;
+  /// Sequencer-private scratch for the per-partition touch-counter fold.
+  std::vector<uint64_t> touch_totals_;
   std::vector<uint32_t> record_sizes_;  // by table id
   BatchRing ring_;
   MpmcQueue<InputItem> input_;

@@ -1,0 +1,183 @@
+#include "bohm/repartition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bohm {
+
+RepartitionController::RepartitionController(uint32_t partitions,
+                                             uint32_t cc_threads,
+                                             const AdaptiveCcConfig& cfg)
+    : partitions_(partitions == 0 ? 1 : partitions),
+      cc_threads_(cc_threads == 0 ? 1 : cc_threads),
+      cfg_(cfg),
+      last_totals_(partitions_, 0),
+      load_scratch_(cc_threads_, 0) {
+  auto initial = std::make_unique<PartitionMapVersion>();
+  initial->epoch = 0;
+  initial->owners.resize(partitions_);
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    initial->owners[p] = p % cc_threads_;
+  }
+  current_ = initial.get();
+  versions_.push_back(std::move(initial));
+}
+
+const PartitionMapVersion* RepartitionController::MapForBatch(
+    int64_t id, const WatermarkSet& cc_watermark) {
+  if (pending_ != nullptr) {
+    // Gate: every thread that loses a partition must have finished all
+    // batches sealed under the old map (ids < id). Its watermark Advance
+    // is a release store ordered after its head stores for the migrated
+    // partitions; the acquire Get here plus the sequencer's release feed
+    // push of batch `id` hands that visibility to the new owner (R7).
+    bool ready = true;
+    for (uint32_t src : pending_sources_) {
+      if (cc_watermark.Get(src) < id - 1) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) PromotePending();
+  }
+  current_->last_batch = id;
+  return current_;
+}
+
+void RepartitionController::PromotePending() {
+  pending_->epoch = current_->epoch + 1;
+  current_ = pending_.get();
+  versions_.push_back(std::move(pending_));
+  pending_sources_.clear();
+  // relaxed: sequencer is the single writer of these monitors, so the
+  // read-back of its own last value needs no ordering; the release store
+  // publishes the new value to Stats()/test readers.
+  migrations_.store(migrations_.load(std::memory_order_relaxed) +
+                        pending_moves_,
+                    std::memory_order_release);
+  epoch_.store(current_->epoch, std::memory_order_release);
+  pending_moves_ = 0;
+}
+
+void RepartitionController::Observe(const std::vector<uint64_t>& touch_totals) {
+  assert(touch_totals.size() == partitions_);
+  // Per-partition deltas since the previous fold, accumulated into
+  // per-thread loads under the current assignment.
+  std::fill(load_scratch_.begin(), load_scratch_.end(), 0);
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    const uint64_t delta = touch_totals[p] - last_totals_[p];
+    load_scratch_[current_->owners[p]] += delta;
+    total += delta;
+  }
+  const std::vector<uint64_t> prev = last_totals_;
+  last_totals_ = touch_totals;
+
+  uint32_t hottest = 0;
+  for (uint32_t t = 1; t < cc_threads_; ++t) {
+    if (load_scratch_[t] > load_scratch_[hottest]) hottest = t;
+  }
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(cc_threads_);
+  const uint64_t gauge =
+      total == 0 ? 1000
+                 : static_cast<uint64_t>(
+                       static_cast<double>(load_scratch_[hottest]) * 1000.0 /
+                       avg);
+  // relaxed: sequencer is the single writer of this gauge; the release
+  // store publishes it to Stats() readers.
+  imbalance_x1000_.store(gauge, std::memory_order_release);
+
+  if (cc_threads_ < 2) return;
+  if (pending_ != nullptr) return;  // one migration in flight at a time
+
+  if (cfg_.force_rotate) {
+    // Test mode: shift every partition to the next thread. Every thread
+    // is a source, so the promotion gate must observe all of them.
+    auto next = std::make_unique<PartitionMapVersion>();
+    next->owners.resize(partitions_);
+    for (uint32_t p = 0; p < partitions_; ++p) {
+      next->owners[p] = (current_->owners[p] + 1) % cc_threads_;
+    }
+    pending_ = std::move(next);
+    pending_sources_.clear();
+    for (uint32_t t = 0; t < cc_threads_; ++t) pending_sources_.push_back(t);
+    pending_moves_ = partitions_;
+    // relaxed: sequencer-only counter; release publishes to monitors.
+    decisions_.store(decisions_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+    return;
+  }
+
+  if (total == 0) return;
+  if (static_cast<double>(load_scratch_[hottest]) <=
+      cfg_.max_imbalance * avg) {
+    return;
+  }
+
+  // Greedy rebalance: repeatedly move the hottest movable partition from
+  // the most-loaded to the least-loaded thread. A partition is movable
+  // when it saw traffic and moving it strictly narrows the gap (a single
+  // mega-hot partition that dominates its thread stays put — moving it
+  // would just relocate the bottleneck; its *cold siblings* move away
+  // instead, which is what actually unloads the thread).
+  std::vector<uint32_t> owners = current_->owners;
+  std::vector<uint64_t> loads = load_scratch_;
+  std::vector<uint64_t> delta(partitions_);
+  for (uint32_t p = 0; p < partitions_; ++p) {
+    delta[p] = touch_totals[p] - prev[p];
+  }
+  uint32_t moves = 0;
+  std::vector<uint32_t> sources;
+  const uint32_t max_moves = cfg_.max_moves == 0 ? partitions_ : cfg_.max_moves;
+  while (moves < max_moves) {
+    uint32_t hi = 0, lo = 0;
+    for (uint32_t t = 1; t < cc_threads_; ++t) {
+      if (loads[t] > loads[hi]) hi = t;
+      if (loads[t] < loads[lo]) lo = t;
+    }
+    const uint64_t gap = loads[hi] - loads[lo];
+    if (static_cast<double>(loads[hi]) <= cfg_.max_imbalance * avg) break;
+    // Hottest partition of `hi` whose move narrows the gap.
+    uint32_t best = partitions_;
+    uint64_t best_delta = 0;
+    for (uint32_t p = 0; p < partitions_; ++p) {
+      if (owners[p] != hi) continue;
+      if (delta[p] == 0 || delta[p] >= gap) continue;
+      if (delta[p] > best_delta) {
+        best_delta = delta[p];
+        best = p;
+      }
+    }
+    if (best == partitions_) break;  // nothing movable helps
+    owners[best] = lo;
+    loads[hi] -= best_delta;
+    loads[lo] += best_delta;
+    sources.push_back(hi);
+    ++moves;
+  }
+  if (moves == 0) return;
+
+  auto next = std::make_unique<PartitionMapVersion>();
+  next->owners = std::move(owners);
+  pending_ = std::move(next);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  pending_sources_ = std::move(sources);
+  pending_moves_ = moves;
+  // relaxed: sequencer-only counter; release publishes to monitors.
+  decisions_.store(decisions_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+}
+
+void RepartitionController::Prune(int64_t exec_watermark) {
+  // The front is retired once a newer map exists and no batch stamped
+  // with it can still be in flight (exec watermark implies the CC
+  // watermark, so no CC thread is inside any batch <= last_batch).
+  while (versions_.size() > 1 &&
+         versions_.front()->last_batch <= exec_watermark) {
+    versions_.pop_front();
+  }
+}
+
+}  // namespace bohm

@@ -1,0 +1,156 @@
+// Adaptive CC repartitioning (ROADMAP item 3): decouple the *physical*
+// index partition (static hash over keys, unchanged — every record still
+// has exactly one home partition, preserving BohmTable's single-writer
+// index discipline) from the *owning CC thread* (dynamic).
+//
+// The engine runs with many more physical partitions than CC threads
+// (e.g. 128–1024 vs. 2–64) and maintains an epoch-versioned partition map
+// (partition -> owner thread) that only the sequencer mutates. CC threads
+// bump per-partition touch counters (single-writer relaxed slots, like
+// the stall/stat slots); between batches the sequencer folds them,
+// detects imbalance, and migrates whole partitions from overloaded to
+// underloaded threads.
+//
+// Safety (docs/CONCURRENCY.md rule R7):
+//  * Each sealed Batch is stamped with a pointer to the map it was
+//    sequenced under; the stamp rides the feed-push release edge (rule
+//    R5), so a CC thread popping the batch sees a fully-built map.
+//  * A migration takes effect only once the sequencer has observed every
+//    *source* thread's cc_watermark pass the last batch sealed under the
+//    old map. The old owner's head stores happen before its watermark
+//    Advance (release); the sequencer's acquire fold happens before its
+//    next feed push (release); the new owner's pop (acquire) therefore
+//    sees every version the old owner installed. Until the gate opens,
+//    batches keep sealing under the old map — the sequencer never waits.
+//  * Retired map versions are freed only after the execution watermark
+//    passes their last stamped batch (exec <= cc, so no CC thread can
+//    still be reading them).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/macros.h"
+
+namespace bohm {
+
+/// Knobs for adaptive CC repartitioning (BohmConfig::adaptive).
+struct AdaptiveCcConfig {
+  bool enabled = false;
+  /// Physical partitions per table. 0 = auto: max(128, 8 per CC thread),
+  /// capped at 1024. Must be >= cc_threads (Start() validates). When
+  /// adaptive is disabled the engine ignores this and uses one partition
+  /// per CC thread (the original static assignment).
+  uint32_t partitions = 0;
+  /// Fold touch counters and reconsider the assignment every this many
+  /// batches.
+  uint32_t interval_batches = 8;
+  /// Migrate when the hottest thread's load exceeds this multiple of the
+  /// mean per-thread load.
+  double max_imbalance = 1.25;
+  /// Cap on partitions moved per rebalance decision (0 = unlimited).
+  uint32_t max_moves = 8;
+  /// Test knob: rotate every partition's owner by one thread at each
+  /// interval regardless of load, forcing the migration machinery (map
+  /// promotion gate, cross-thread handoff, GC allocator routing) to run
+  /// constantly. Never useful in production.
+  bool force_rotate = false;
+};
+
+/// One immutable version of the partition -> owner-thread map. `owners`
+/// is never mutated after the version becomes current; CC threads read it
+/// through the batch stamp (plain loads, published by the feed push).
+struct PartitionMapVersion {
+  uint64_t epoch = 0;
+  /// Highest batch id sealed under this map (sequencer-private; drives
+  /// retirement).
+  int64_t last_batch = -1;
+  std::vector<uint32_t> owners;  // partition -> CC thread
+};
+
+/// Sequencer-owned controller for the partition map. Every method except
+/// the const monitors must be called from the sequencer thread only.
+class RepartitionController {
+ public:
+  /// The initial assignment is owners[p] = p % cc_threads; Load() uses the
+  /// same rule, so pre-loaded versions are allocated by their first owner.
+  RepartitionController(uint32_t partitions, uint32_t cc_threads,
+                        const AdaptiveCcConfig& cfg);
+  BOHM_DISALLOW_COPY_AND_ASSIGN(RepartitionController);
+
+  /// Returns the map to stamp on batch `id`, promoting a pending
+  /// migration first if its watermark gate has opened: every source
+  /// thread's cc watermark must have passed id - 1 (i.e. the old owner
+  /// finished every batch sealed under the old map). Records `id` as the
+  /// map's last stamped batch. Sequencer thread only.
+  const PartitionMapVersion* MapForBatch(int64_t id,
+                                         const WatermarkSet& cc_watermark);
+
+  /// Feeds the controller one fold of the cumulative per-partition touch
+  /// counters; may create a pending migration. Call every
+  /// `interval_batches` sealed batches. Sequencer thread only.
+  void Observe(const std::vector<uint64_t>& touch_totals);
+
+  /// Frees retired map versions whose last stamped batch the execution
+  /// watermark has passed. Sequencer thread only.
+  void Prune(int64_t exec_watermark);
+
+  /// Current map (sequencer thread, or any thread before Start()).
+  const PartitionMapVersion* current() const { return current_; }
+
+  uint32_t partitions() const { return partitions_; }
+
+  // --- cross-thread monitors (any thread) ---
+  /// Partitions moved across all promoted migrations (monotone).
+  uint64_t migrations() const {
+    return migrations_.load(std::memory_order_acquire);
+  }
+  /// Rebalance decisions that produced a pending map (monotone).
+  uint64_t decisions() const {
+    return decisions_.load(std::memory_order_acquire);
+  }
+  /// Last folded max-thread-load / mean-thread-load ratio, x1000 (gauge;
+  /// 1000 = perfectly balanced).
+  uint64_t imbalance_x1000() const {
+    return imbalance_x1000_.load(std::memory_order_acquire);
+  }
+  /// Epoch of the current (promoted) map.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  void PromotePending();
+
+  const uint32_t partitions_;
+  const uint32_t cc_threads_;
+  const AdaptiveCcConfig cfg_;
+
+  /// All map versions ever promoted, oldest first; back() is current.
+  /// Retired versions stay until Prune() proves no reader remains.
+  std::deque<std::unique_ptr<PartitionMapVersion>> versions_;
+  PartitionMapVersion* current_ = nullptr;
+
+  /// Pending migration awaiting its watermark gate, plus the threads that
+  /// lose partitions in it (the gate applies to those only).
+  std::unique_ptr<PartitionMapVersion> pending_;
+  std::vector<uint32_t> pending_sources_;
+  uint32_t pending_moves_ = 0;
+
+  /// Previous fold of the cumulative touch counters (deltas drive the
+  /// rebalance decision).
+  std::vector<uint64_t> last_totals_;
+  /// Scratch: per-thread load of the current fold.
+  std::vector<uint64_t> load_scratch_;
+
+  /// Monitors. Single writer (the sequencer); release stores publish to
+  /// Stats()/test readers.
+  std::atomic<uint64_t> migrations_{0};
+  std::atomic<uint64_t> decisions_{0};
+  std::atomic<uint64_t> imbalance_x1000_{1000};
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace bohm

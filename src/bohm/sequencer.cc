@@ -4,6 +4,7 @@
 // single-writer operation, in contrast to the global fetch-and-increment
 // counters of conventional multi-version systems (Section 2.1).
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -39,6 +40,21 @@ void BohmEngine::LogSealedBatch(const Batch& batch, int64_t id) {
       log_writer_->Append(log_base_ + static_cast<uint64_t>(id),
                           std::move(payload));
   if (stall_ns != 0) seq_log_stall_.ns.Inc(stall_ns);
+}
+
+// Folds the cumulative per-partition touch counters across CC threads
+// and hands them to the repartition controller, which may stage a
+// pending migration (promoted later once its watermark gate opens).
+void BohmEngine::FoldTouchCounters() {
+  const uint32_t parts = db_.partitions();
+  std::fill(touch_totals_.begin(), touch_totals_.end(), 0);
+  for (const auto& st : cc_state_) {
+    const RelaxedCounter* touch = st->touch.get();
+    for (uint32_t p = 0; p < parts; ++p) {
+      touch_totals_[p] += touch[p].Get();
+    }
+  }
+  repart_->Observe(touch_totals_);
 }
 
 void BohmEngine::SealBatch(Batch* batch, int64_t id) {
@@ -87,6 +103,21 @@ void BohmEngine::SequencerLoop() {
     }
     batch->ResetForReuse();
 
+    // Adaptive repartitioning (rule R7): at the fold cadence, read the
+    // touch counters and maybe stage a migration; then fetch the map this
+    // batch will be sequenced under (promoting a gated pending map once
+    // every source thread's cc watermark has passed id - 1). Also retire
+    // map versions no in-flight batch can still reference.
+    if (cfg_.adaptive.enabled && id > 0 &&
+        id % static_cast<int64_t>(cfg_.adaptive.interval_batches) == 0) {
+      FoldTouchCounters();
+    }
+    const PartitionMapVersion* pmap = repart_->MapForBatch(id, cc_watermark_);
+    const uint32_t* owners = pmap->owners.data();
+    batch->part_epoch = pmap->epoch;
+    batch->owners = owners;
+    repart_->Prune(Watermark());
+
     // Fill the batch. Seal early when the input queue runs dry so that a
     // trickle of transactions does not wait for a full batch.
     bool stop_after = false;
@@ -120,17 +151,21 @@ void BohmEngine::SequencerLoop() {
           }
         }
         if (cfg_.interest_preprocessing) {
-          // Pre-processing (Section 3.2.2): mark which CC partitions this
-          // transaction touches so CC threads skip it wholesale.
+          // Pre-processing (Section 3.2.2): mark which CC *threads* this
+          // transaction has work for, under this batch's partition map,
+          // so CC threads skip it wholesale. Owner ids are < cc_threads
+          // <= 64 (Start() validates), so the shift is always defined —
+          // partition counts above 64 are fine.
           uint64_t mask = 0;
           for (uint32_t i = 0; i < txn->n_writes; ++i) {
             const RecordId& rec = txn->writes[i].rec;
-            mask |= 1ull << db_.table(rec.table)->PartitionOf(rec.key);
+            mask |= 1ull << owners[db_.table(rec.table)->PartitionOf(rec.key)];
           }
           if (cfg_.read_annotation) {
             for (uint32_t i = 0; i < txn->n_reads; ++i) {
               const RecordId& rec = txn->reads[i].rec;
-              mask |= 1ull << db_.table(rec.table)->PartitionOf(rec.key);
+              mask |=
+                  1ull << owners[db_.table(rec.table)->PartitionOf(rec.key)];
             }
           }
           txn->cc_interest = mask;

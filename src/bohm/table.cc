@@ -17,7 +17,10 @@ BohmTable::BohmTable(const TableSpec& spec, uint32_t partitions)
 
 BohmIndexEntry* BohmTable::Find(uint32_t partition, Key key) const {
   const Partition& p = *parts_[partition];
-  uint64_t b = HashKey(key) & p.mask;
+  // BucketHash, not HashKey: the partition index already consumed
+  // HashKey(key) % partitions, and reusing the same hash here pins the
+  // low bucket bits within a partition (see BucketHash in common/hash.h).
+  uint64_t b = BucketHash(key) & p.mask;
   // acquire pairs with the release publication in GetOrInsert, so a found
   // entry is always fully initialized.
   for (BohmIndexEntry* e = p.chains[b].load(std::memory_order_acquire);
@@ -31,7 +34,7 @@ BohmIndexEntry* BohmTable::GetOrInsert(uint32_t partition, Key key,
                                        Version* initial_head,
                                        bool* inserted) {
   Partition& p = *parts_[partition];
-  uint64_t b = HashKey(key) & p.mask;
+  uint64_t b = BucketHash(key) & p.mask;
   // relaxed: this thread is the partition's only writer, so it always
   // sees its own latest chain head; readers get ordering from Find's
   // acquire instead.

@@ -1,16 +1,20 @@
-// The Bohm versioned table: a hash index partitioned across concurrency-
-// control threads (Section 3.2.2).
+// The Bohm versioned table: a hash index split into physical partitions
+// (Section 3.2.2), each owned by one concurrency-control thread.
 //
 // Ownership discipline is the heart of the design: a record's index entry
-// and head pointer are only ever *written* by the single CC thread whose
-// partition the record hashes to — across all transactions, forever. That
-// makes every index mutation uncontended by construction. Execution
+// and head pointer are only ever *written* by the single CC thread that
+// owns the partition the record hashes to. The hash is static; the
+// partition -> thread assignment is the epoch-versioned map in
+// bohm/repartition.h (identity when adaptive mode is off), and it only
+// changes *between* batches, so within any batch every index mutation is
+// uncontended by construction. Execution
 // threads *read* entries concurrently ("readers need only spin on
 // inconsistent or stale data", Section 3.3.1): entries are published into
 // bucket chains with release stores and never removed, so a reader either
 // sees a fully-initialized entry or does not see it yet.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -41,7 +45,8 @@ class BohmTable {
   const TableSpec& spec() const { return spec_; }
   uint32_t partitions() const { return static_cast<uint32_t>(parts_.size()); }
 
-  /// Partition (= owning CC thread) of a key.
+  /// Physical partition of a key (static hash; the owning CC thread is
+  /// the current partition map's assignment for this partition).
   uint32_t PartitionOf(Key key) const {
     return static_cast<uint32_t>(HashKey(key) % parts_.size());
   }
@@ -68,6 +73,28 @@ class BohmTable {
   /// Number of entries in a partition (test hook; owner thread only).
   uint64_t EntryCount(uint32_t partition) const {
     return parts_[partition]->count;
+  }
+
+  /// Longest bucket chain in a partition (test hook; owner thread only).
+  /// Regression observable for the partition/bucket hash aliasing bug:
+  /// bucketing by the same hash that chose the partition left only
+  /// buckets/partitions slots reachable per partition, so chains grew
+  /// ~partitions times longer than the ~1-entry-per-bucket sizing
+  /// intends.
+  uint64_t MaxChainLength(uint32_t partition) const {
+    const Partition& p = *parts_[partition];
+    uint64_t longest = 0;
+    for (uint64_t b = 0; b <= p.mask; ++b) {
+      uint64_t len = 0;
+      // relaxed: owner-thread/test-only accounting walk; entry fields
+      // were published by the chain's release stores before the walk.
+      for (BohmIndexEntry* e = p.chains[b].load(std::memory_order_relaxed);
+           e != nullptr; e = e->next) {
+        ++len;
+      }
+      longest = std::max(longest, len);
+    }
+    return longest;
   }
 
  private:

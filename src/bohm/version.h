@@ -45,6 +45,12 @@ struct Version {
   std::atomic<uint32_t> flags{0};
   /// Table the version belongs to; selects the allocator size class.
   TableId table = 0;
+  /// CC thread whose VersionAllocator produced this version. With
+  /// adaptive repartitioning the retiring thread may differ from the
+  /// allocating one (the partition migrated in between); GC routes the
+  /// retiree back to this thread's free lists (src/bohm/gc.cc). Stamped
+  /// by Alloc, immutable afterwards.
+  uint32_t allocator = 0;
   /// The transaction that must be evaluated to obtain the data
   /// (Figure 3's "Txn Pointer"); nullptr for loaded versions.
   BohmTxn* producer = nullptr;
@@ -74,6 +80,11 @@ class VersionAllocator {
       : arena_(arena_block_bytes) {}
   BOHM_DISALLOW_COPY_AND_ASSIGN(VersionAllocator);
 
+  /// Id of the CC thread that owns this allocator, stamped into every
+  /// version it produces (Version::allocator). Set once at engine
+  /// construction, before any Alloc.
+  void set_owner(uint32_t owner) { owner_ = owner; }
+
   /// Allocates a version with `record_size` payload bytes for `table`.
   Version* Alloc(TableId table, uint32_t record_size);
 
@@ -87,6 +98,7 @@ class VersionAllocator {
 
  private:
   Arena arena_;
+  uint32_t owner_ = 0;
   std::vector<std::vector<Version*>> free_lists_;  // indexed by table id
 };
 

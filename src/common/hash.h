@@ -17,6 +17,18 @@ inline uint64_t HashKey(uint64_t key) {
   return z ^ (z >> 31);
 }
 
+/// Bucket-index hash, independent of HashKey. Structures that split by
+/// HashKey(key) % P and then bucket within the split must NOT reuse the
+/// same hash for the bucket index: when P shares a factor with the
+/// (power-of-two) bucket count, every key in split p satisfies
+/// hash ≡ p (mod P), so `hash & mask` can only reach buckets/P of the
+/// slots — with P=128 physical partitions that collapses a 2048-bucket
+/// partition to 16 live chains ~128x the intended length. Same mixer
+/// over a tweaked input gives a fully decorrelated second index.
+inline uint64_t BucketHash(uint64_t key) {
+  return HashKey(key ^ 0x9ae16a3b2f90404full);
+}
+
 /// Combines a table id and key into one hash (used by lock tables that
 /// span all tables).
 inline uint64_t HashTableKey(uint32_t table, uint64_t key) {

@@ -94,6 +94,12 @@ struct StatsSnapshot {
   uint64_t log_bytes = 0;     ///< bytes appended to the log
   uint64_t log_records = 0;   ///< batch records appended
   uint64_t log_fsyncs = 0;    ///< fsync calls issued by the log writer
+  /// Adaptive CC repartitioning (zero for non-Bohm engines and with the
+  /// feature off). Migrations are monotone like the counters; the
+  /// imbalance is a gauge — the last folded max/mean CC-thread load
+  /// ratio x1000 (1000 = perfectly balanced), NOT windowable by delta.
+  uint64_t cc_migrations = 0;
+  uint64_t cc_imbalance_x1000 = 1000;
 
   double AbortRate() const {
     uint64_t attempts = commits + cc_aborts;

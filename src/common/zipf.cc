@@ -1,32 +1,79 @@
 #include "common/zipf.h"
 
+#include <bit>
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
 
 namespace bohm {
 namespace {
 
-// zeta(n, theta) = sum_{i=1..n} 1 / i^theta. O(n) but computed once per
-// generator; workload setup cost, not steady-state cost.
+// zeta(n, theta) = sum_{i=1..n} 1 / i^theta.
 double Zeta(uint64_t n, double theta) {
   double sum = 0;
   for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
   return sum;
 }
 
+// The O(n) zeta sum used to be recomputed by every generator; with the
+// paper's 1M-record tables and one generator per client thread per bench
+// point, that is seconds of setup per sweep. Memoize it on (n, theta) —
+// theta is keyed by bit pattern, so only exact repeats hit, which is the
+// case that matters (every thread uses the same workload parameters).
+double CachedZetan(uint64_t n, double theta) {
+  struct Key {
+    uint64_t n;
+    uint64_t theta_bits;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t z = k.n ^ (k.theta_bits * 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+  };
+  static std::mutex mu;
+  static std::unordered_map<Key, double, KeyHash> cache;
+  const Key key{n, std::bit_cast<uint64_t>(theta)};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock: the sum is the expensive part, and two
+  // threads racing to insert the same key is harmless (same value).
+  const double z = Zeta(n, theta);
+  std::lock_guard<std::mutex> lock(mu);
+  return cache.emplace(key, z).first->second;
+}
+
 }  // namespace
 
-ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n) {
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n == 0 ? 1 : n) {
+  // The harmonic normalization diverges at theta = 1; clamp just below so
+  // theta >= 1 behaves as "maximally skewed" instead of NaN (documented in
+  // the header).
   if (theta >= 1.0) theta = 0.9999;
   if (theta < 0.0) theta = 0.0;
   theta_ = theta;
-  zetan_ = Zeta(n, theta);
+  zetan_ = CachedZetan(n_, theta);
   zeta2_ = Zeta(2, theta);
   alpha_ = 1.0 / (1.0 - theta);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+  if (n_ <= 2) {
+    // n == 1: Next() always takes the uz < 1 branch. n == 2: the first
+    // two CDF branches cover [0, zetan) entirely (zeta(2) == zetan), so
+    // eta_ is never read. The general formula divides by
+    // 1 - zeta2/zetan == 0 here; set 0 instead of storing inf/NaN.
+    eta_ = 0.0;
+    return;
+  }
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta)) /
          (1.0 - zeta2_ / zetan_);
 }
 
 uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (n_ == 1) return 0;
   // Gray et al. inverse-CDF approximation.
   const double u = rng.NextDouble();
   const double uz = u * zetan_;

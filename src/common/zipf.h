@@ -13,8 +13,14 @@ namespace bohm {
 
 class ZipfGenerator {
  public:
-  /// Items are drawn from [0, n). theta must be in [0, 1); values >= 1
-  /// are clamped just below 1 (the harmonic normalization diverges at 1).
+  /// Items are drawn from [0, n); n == 0 is treated as 1. theta must be in
+  /// [0, 1); values >= 1 are clamped to 0.9999 (the harmonic normalization
+  /// diverges at 1), so theta = 1.2 behaves as "maximally skewed", not NaN.
+  /// The small-n edges are exact: n == 1 always yields 0, and n == 2 never
+  /// touches the eta interpolation term (whose general formula would
+  /// divide by zero there). The O(n) zeta(n, theta) normalizer is memoized
+  /// process-wide, so constructing many generators with the same (n,
+  /// theta) — one per bench thread — pays the sum once.
   ZipfGenerator(uint64_t n, double theta);
 
   /// Draws the next item rank. Rank 0 is the most popular item. Callers

@@ -60,6 +60,12 @@ struct BenchResult {
   uint64_t log_bytes = 0;
   uint64_t log_records = 0;
   uint64_t log_fsyncs = 0;
+  /// Adaptive CC repartitioning over the window: partitions migrated
+  /// between CC threads (snapshot delta) and the closing snapshot's
+  /// max/mean CC-thread load ratio x1000 (a gauge — 1000 = balanced).
+  /// Zero / 1000 for executor engines and with the feature off.
+  uint64_t cc_migrations = 0;
+  uint64_t cc_imbalance_x1000 = 1000;
 
   double Throughput() const {
     return seconds > 0 ? static_cast<double>(commits) / seconds : 0.0;

@@ -148,7 +148,8 @@ void JsonReport::Write() const {
         ", \"seq_stall_us\": %.1f, \"cc_stall_us\": %.1f"
         ", \"exec_stall_us\": %.1f, \"log_stall_us\": %.1f"
         ", \"log_bytes\": %" PRIu64 ", \"log_records\": %" PRIu64
-        ", \"fsyncs\": %" PRIu64 "}%s\n",
+        ", \"fsyncs\": %" PRIu64 ", \"cc_migrations\": %" PRIu64
+        ", \"cc_imbalance\": %.3f}%s\n",
         r.seconds, r.commits, r.cc_aborts, r.logic_aborts, r.Throughput(),
         r.AbortRate(), r.latency_us.count(), r.latency_us.Mean(), r.P50Us(),
         r.P99Us(), r.P999Us(), r.latency_us.max(),
@@ -156,7 +157,8 @@ void JsonReport::Write() const {
         static_cast<double>(r.cc_stall_ns) / 1000.0,
         static_cast<double>(r.exec_stall_ns) / 1000.0,
         static_cast<double>(r.log_stall_ns) / 1000.0, r.log_bytes,
-        r.log_records, r.log_fsyncs,
+        r.log_records, r.log_fsyncs, r.cc_migrations,
+        static_cast<double>(r.cc_imbalance_x1000) / 1000.0,
         i + 1 < points_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -12,6 +12,10 @@
 //   BOHM_BENCH_CSV=1                      machine-readable output
 //   BOHM_BENCH_JSON=out.json              full JSON dump incl. latency
 //                                         (see scripts/bench_snapshot.sh)
+//   BOHM_BENCH_ADAPTIVE=0                 disable adaptive CC
+//                                         repartitioning (default on)
+//   BOHM_BENCH_PARTITIONS=256             physical partitions per table
+//                                         (default 0 = auto)
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,57 @@
+#include "workload/hotspot.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace bohm {
+
+HotspotGenerator::HotspotGenerator(const HotspotConfig& cfg, uint64_t seed)
+    : cfg_(cfg),
+      rng_(seed),
+      zipf_(cfg.hot_keys == 0 ? 1 : cfg.hot_keys, cfg.theta) {
+  if (cfg_.record_count == 0) cfg_.record_count = 1;
+  if (cfg_.hot_keys == 0) cfg_.hot_keys = 1;
+  if (cfg_.hot_keys > cfg_.record_count) cfg_.hot_keys = cfg_.record_count;
+  if (cfg_.shift_period == 0) cfg_.shift_period = 1;
+  // Jump far each shift so successive windows land on disjoint partition
+  // sets; ~1/7 of the table is co-prime-ish with the power-of-two strides
+  // a hash would be blind to, and never a multiple of the window width.
+  stride_ = cfg_.record_count / 7 + cfg_.hot_keys + 1;
+}
+
+Key HotspotGenerator::NextKey() {
+  if (++draws_ % cfg_.shift_period == 0) {
+    base_ = (base_ + stride_) % cfg_.record_count;
+  }
+  if (rng_.NextDouble() < cfg_.hot_fraction) {
+    const uint64_t rank = zipf_.Next(rng_);
+    return static_cast<Key>((base_ + rank) % cfg_.record_count);
+  }
+  return static_cast<Key>(rng_.Uniform(cfg_.record_count));
+}
+
+std::vector<Key> HotspotGenerator::DrawDistinctKeys(uint32_t n) {
+  if (static_cast<uint64_t>(n) > cfg_.record_count) {
+    n = static_cast<uint32_t>(cfg_.record_count);
+  }
+  std::vector<Key> keys;
+  keys.reserve(n);
+  uint32_t attempts = 0;
+  while (keys.size() < n) {
+    // A window narrower than n can starve the hot path of fresh keys;
+    // fall back to uniform draws once the duplicate rate shows it.
+    Key k = ++attempts > 4 * n ? static_cast<Key>(rng_.Uniform(cfg_.record_count))
+                               : NextKey();
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+ProcedurePtr HotspotGenerator::Make() {
+  return std::make_unique<YcsbRmwProcedure>(DrawDistinctKeys(cfg_.rmw_keys),
+                                            cfg_.record_size);
+}
+
+}  // namespace bohm

@@ -1,0 +1,84 @@
+// Shifting-hotspot workload: the adaptive-repartitioning stressor.
+//
+// YCSB's scrambled-zipfian knob (workload/ycsb.h) spreads its hot keys
+// uniformly over the key space, so every CC thread sees roughly the same
+// version-insertion load no matter how skewed theta gets. This workload
+// does the opposite on purpose: most traffic concentrates on a small
+// *window* of keys ([base, base + hot_keys), inner zipfian), and the
+// window jumps to a different region of the key space every shift_period
+// draws. Because keys hash to physical partitions, a small window lands on
+// a handful of partitions — whichever CC threads own them become the
+// bottleneck while the rest idle, and the bottleneck *moves* every shift.
+// A static partition -> CC-thread map cannot follow it; the adaptive
+// controller (bohm/repartition.h) migrates the hot partitions between
+// batches.
+//
+// Uses the same table / catalog / loader as YCSB (kYcsbTableId via
+// Ycsb()), and emits the standard YcsbRmwProcedure, so engines need no
+// new code to run it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rand.h"
+#include "common/zipf.h"
+#include "workload/ycsb.h"
+
+namespace bohm {
+
+struct HotspotConfig {
+  uint64_t record_count = 100'000;
+  uint32_t record_size = 1000;  // >= 8, as in YCSB
+  /// Probability a key is drawn from the hot window (rest: uniform).
+  double hot_fraction = 0.9;
+  /// Width of the hot window. Small on purpose: the window should cover
+  /// few enough physical partitions that their owners saturate.
+  uint64_t hot_keys = 16;
+  /// Draws (per generator) between window shifts.
+  uint64_t shift_period = 50'000;
+  /// Inner zipfian skew across the window's hot_keys ranks.
+  double theta = 0.99;
+  /// Distinct RMW keys per transaction.
+  uint32_t rmw_keys = 8;
+
+  /// The equivalent YCSB config (same table shape) for catalog + load.
+  YcsbConfig Ycsb() const {
+    YcsbConfig cfg;
+    cfg.record_count = record_count;
+    cfg.record_size = record_size;
+    return cfg;
+  }
+};
+
+/// Per-thread generator. Deterministic given (cfg, seed): the window
+/// shift schedule is a fixed stride, so two generators with the same seed
+/// produce identical transaction streams.
+class HotspotGenerator {
+ public:
+  HotspotGenerator(const HotspotConfig& cfg, uint64_t seed);
+
+  /// Draws the next key: hot-window zipfian with probability
+  /// hot_fraction, uniform over the whole table otherwise. Advances the
+  /// shift clock.
+  Key NextKey();
+
+  /// `n` distinct keys (transactions require unique read/write sets).
+  std::vector<Key> DrawDistinctKeys(uint32_t n);
+
+  /// A standard YCSB RMW transaction over rmw_keys distinct keys.
+  ProcedurePtr Make();
+
+  /// First key of the current hot window (test observable).
+  uint64_t window_base() const { return base_; }
+
+ private:
+  HotspotConfig cfg_;
+  Rng rng_;
+  ZipfGenerator zipf_;  // ranks within the window
+  uint64_t base_ = 0;
+  uint64_t stride_;
+  uint64_t draws_ = 0;
+};
+
+}  // namespace bohm

@@ -74,6 +74,28 @@ TEST(BohmTableTest, EntryCountPerPartition) {
   EXPECT_EQ(total, 100u);
 }
 
+TEST(BohmTableTest, BucketHashIndependentOfPartitionHash) {
+  // Regression: partition = HashKey(key) % P and bucket = hash & mask
+  // used the SAME hash. With a power-of-two partition count (adaptive
+  // mode uses 128-1024) every key in partition p satisfies
+  // hash ≡ p (mod P), so only buckets/P bucket slots per partition were
+  // reachable — chains ran ~P times longer than the ~1-per-bucket
+  // sizing, roughly halving whole-pipeline throughput at P=128. With an
+  // independent BucketHash, a dense keyspace at the sized capacity must
+  // keep chains near 1 (generous bound: 8).
+  constexpr uint64_t kN = 100'000;
+  constexpr uint32_t kParts = 128;
+  BohmTable t(Spec(kN), kParts);
+  for (Key k = 0; k < kN; ++k) {
+    bool inserted = false;
+    (void)t.GetOrInsert(t.PartitionOf(k), k, Sentinel(k + 1), &inserted);
+    ASSERT_TRUE(inserted);
+  }
+  for (uint32_t p = 0; p < kParts; ++p) {
+    EXPECT_LE(t.MaxChainLength(p), 8u) << "partition " << p;
+  }
+}
+
 TEST(BohmTableTest, ManyKeysNoCollisionLoss) {
   constexpr uint64_t kN = 50000;
   BohmTable t(Spec(kN), 3);
